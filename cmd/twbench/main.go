@@ -1,0 +1,108 @@
+// Command twbench regenerates the paper's tables and figures (and this
+// repository's ablations) on the simulated network-of-workstations testbed,
+// printing one text table per figure.
+//
+// Usage:
+//
+//	twbench -exp all                 # every experiment (long)
+//	twbench -exp fig6,fig8 -repeat 3 # selected figures, averaged
+//	twbench -exp fig5 -quick         # 10x smaller workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"gowarp/internal/exp"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "comma-separated experiments: rates,fig5,fig6,fig7,fig8,fig9,ckpt-sweep,sched,gvt-period,ctl-period,disk-sens,tw-vs-cmb or 'all'")
+		repeat  = flag.Int("repeat", 1, "measured runs averaged per data point")
+		quick   = flag.Bool("quick", false, "shrink workloads ~10x (shape checks)")
+		rates   = flag.Bool("rates", false, "also print committed-event rates per point")
+		details = flag.Bool("details", false, "print per-point counter details")
+		csvDir  = flag.String("csv", "", "also write <dir>/<figure>.csv per experiment")
+	)
+	flag.Parse()
+
+	tb := exp.Default()
+	tb.Repeat = *repeat
+	tb.Quick = *quick
+
+	runners := map[string]func() (exp.Figure, error){
+		"rates":      tb.Rates,
+		"fig5":       tb.Fig5,
+		"fig6":       tb.Fig6,
+		"fig7":       tb.Fig7,
+		"fig8":       tb.Fig8,
+		"fig9":       tb.Fig9,
+		"ckpt-sweep": tb.CheckpointSweep,
+		"sched":      tb.SchedulerAblation,
+		"gvt-period": tb.GVTPeriodAblation,
+		"ctl-period": tb.ControlPeriodAblation,
+		"disk-sens":  tb.DiskSensitivityAblation,
+		"tw-vs-cmb":  tb.ConservativeComparison,
+	}
+	order := []string{"rates", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"ckpt-sweep", "sched", "gvt-period", "ctl-period", "disk-sens", "tw-vs-cmb"}
+
+	var names []string
+	if *which == "all" {
+		names = order
+	} else {
+		names = strings.Split(*which, ",")
+		sort.Slice(names, func(i, j int) bool { return index(order, names[i]) < index(order, names[j]) })
+	}
+
+	for _, name := range names {
+		run, ok := runners[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "twbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fig, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "twbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(fig.Render())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, fig.Name+".csv")
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "twbench: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+		if *rates || *details {
+			for _, s := range fig.Series {
+				for _, r := range s.Rows {
+					fmt.Printf("  %-12s x=%-8g %8.3fs  %10.0f ev/s  eff=%.3f rb=%d\n",
+						s.Name, r.X, r.Seconds, r.Rate, r.Stats.Efficiency(), r.Stats.Rollbacks)
+					if *details {
+						for _, line := range strings.Split(strings.TrimRight(r.Stats.Report(), "\n"), "\n") {
+							fmt.Printf("      %s\n", line)
+						}
+					}
+				}
+			}
+		}
+		fmt.Printf("  [%s took %s]\n\n", fig.Name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func index(order []string, name string) int {
+	for i, n := range order {
+		if n == strings.TrimSpace(name) {
+			return i
+		}
+	}
+	return len(order)
+}

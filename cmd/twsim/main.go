@@ -1,0 +1,214 @@
+// Command twsim runs one of the bundled simulation models on the Time Warp
+// kernel under a chosen configuration and prints the execution statistics.
+//
+// Examples:
+//
+//	twsim -model smmp -requests 2000 -cancel dynamic -ckpt dynamic
+//	twsim -model raid -requests 500 -agg saaw -agg-window 1ms
+//	twsim -model phold -end 100000 -lps 4 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"time"
+
+	"gowarp"
+	"gowarp/internal/stats"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "phold", "model: smmp, raid, phold, qnet, logic")
+		lps       = flag.Int("lps", 4, "logical processes (phold only; smmp/raid use the paper's partitions)")
+		requests  = flag.Int("requests", 500, "requests per generator (smmp: test vectors per processor; raid: requests per source)")
+		end       = flag.Int64("end", 0, "virtual end time (0 = run until the model drains)")
+		seed      = flag.Uint64("seed", 1, "model random seed")
+
+		cancelMode = flag.String("cancel", "aggressive", "cancellation: aggressive, lazy, dynamic")
+		filter     = flag.Int("filter-depth", 16, "dynamic cancellation filter depth n")
+		a2l        = flag.Float64("a2l", 0.45, "aggressive-to-lazy threshold")
+		l2a        = flag.Float64("l2a", 0.2, "lazy-to-aggressive threshold")
+		ps         = flag.Int("ps", 0, "freeze strategy after N comparisons (0 = never)")
+		pa         = flag.Int("pa", 0, "freeze to aggressive after N consecutive misses (0 = never)")
+
+		ckptMode = flag.String("ckpt", "periodic", "check-pointing: periodic, dynamic")
+		interval = flag.Int("ckpt-interval", 1, "checkpoint interval chi (initial value when dynamic)")
+
+		aggMode   = flag.String("agg", "none", "aggregation: none, faw, saaw")
+		aggWindow = flag.Duration("agg-window", 100*time.Microsecond, "aggregation window (FAW) or initial window (SAAW)")
+
+		perMsg    = flag.Duration("msg-cost", 0, "simulated per-physical-message CPU overhead")
+		eventCost = flag.Duration("event-cost", 0, "simulated CPU burn per event")
+		gvtPeriod = flag.Duration("gvt-period", 10*time.Millisecond, "GVT computation period")
+		window    = flag.Int64("optimism-window", 0, "optimism window in virtual time (0 = unbounded)")
+		pending   = flag.String("pending-set", "heap", "pending-set implementation: heap, splay, calendar")
+		padding   = flag.Int("state-padding", 0, "bytes of padded state per object")
+
+		verify     = flag.Bool("verify", false, "also run the sequential kernel and compare committed events and final states")
+		perObject  = flag.Bool("per-object", false, "print per-object strategy/interval summary")
+		sequential = flag.Bool("sequential", false, "run only the sequential reference kernel")
+	)
+	flag.Parse()
+
+	endTime := gowarp.VTime(*end)
+	if endTime == 0 {
+		endTime = gowarp.VTime(1) << 40 // effectively: run until the model drains
+	}
+
+	var m *gowarp.Model
+	switch *modelName {
+	case "smmp":
+		m = gowarp.NewSMMP(gowarp.SMMPConfig{
+			Requests: *requests, Seed: *seed, StatePadding: *padding,
+		})
+	case "raid":
+		m = gowarp.NewRAID(gowarp.RAIDConfig{
+			RequestsPerSource: *requests, Seed: *seed, StatePadding: *padding,
+		})
+	case "phold":
+		if *end == 0 {
+			endTime = 100_000
+		}
+		m = gowarp.NewPHOLD(gowarp.PHOLDConfig{
+			Objects: 32, TokensPerObject: 4, MeanDelay: 20,
+			Locality: 0.5, LPs: *lps, Seed: *seed, StatePadding: *padding,
+		})
+	case "qnet":
+		if *end == 0 {
+			endTime = 100_000
+		}
+		m = gowarp.NewQNet(gowarp.QNetConfig{
+			Stations: 16, Jobs: 32, LPs: *lps, Seed: *seed, StatePadding: *padding,
+		})
+	case "logic":
+		if *end == 0 {
+			endTime = 50_000
+		}
+		m = gowarp.NewLogicPipeline(8, 6, gowarp.LogicConfig{
+			LPs: *lps, Seed: *seed, StatePadding: *padding,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "twsim: unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+
+	if *sequential {
+		res, err := gowarp.RunSequential(m, endTime)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sequential: %d events in %s (%.0f ev/s)\n",
+			res.EventsExecuted, res.Elapsed.Round(time.Millisecond),
+			float64(res.EventsExecuted)/res.Elapsed.Seconds())
+		return
+	}
+
+	cfg := gowarp.DefaultConfig(endTime)
+	cfg.GVTPeriod = *gvtPeriod
+	cfg.OptimismWindow = gowarp.VTime(*window)
+	cfg.EventCost = *eventCost
+	cfg.Cost = gowarp.CostModel{PerMessage: *perMsg, PerByte: 10 * time.Nanosecond}
+
+	switch *cancelMode {
+	case "aggressive":
+		cfg.Cancellation = gowarp.CancellationConfig{Mode: gowarp.AggressiveCancellation}
+	case "lazy":
+		cfg.Cancellation = gowarp.CancellationConfig{Mode: gowarp.LazyCancellation}
+	case "dynamic":
+		cfg.Cancellation = gowarp.CancellationConfig{
+			Mode: gowarp.DynamicCancellation, FilterDepth: *filter,
+			A2LThreshold: *a2l, L2AThreshold: *l2a,
+			PermanentAfter: *ps, PermanentAggressiveRun: *pa,
+		}
+	default:
+		fatal(fmt.Errorf("unknown cancellation mode %q", *cancelMode))
+	}
+
+	switch *ckptMode {
+	case "periodic":
+		cfg.Checkpoint = gowarp.CheckpointConfig{Mode: gowarp.PeriodicCheckpointing, Interval: *interval}
+	case "dynamic":
+		cfg.Checkpoint = gowarp.CheckpointConfig{
+			Mode: gowarp.DynamicCheckpointing, Interval: *interval,
+			MinInterval: 1, MaxInterval: 64, Period: 256,
+		}
+	default:
+		fatal(fmt.Errorf("unknown checkpoint mode %q", *ckptMode))
+	}
+
+	switch *aggMode {
+	case "none":
+		cfg.Aggregation = gowarp.AggregationConfig{Policy: gowarp.NoAggregation}
+	case "faw":
+		cfg.Aggregation = gowarp.AggregationConfig{Policy: gowarp.FAW, Window: *aggWindow}
+	case "saaw":
+		cfg.Aggregation = gowarp.AggregationConfig{Policy: gowarp.SAAW, Window: *aggWindow}
+	default:
+		fatal(fmt.Errorf("unknown aggregation mode %q", *aggMode))
+	}
+
+	switch *pending {
+	case "heap":
+		cfg.PendingSet = gowarp.HeapPendingSet
+	case "splay":
+		cfg.PendingSet = gowarp.SplayPendingSet
+	case "calendar":
+		cfg.PendingSet = gowarp.CalendarPendingSet
+	default:
+		fatal(fmt.Errorf("unknown pending-set %q", *pending))
+	}
+
+	res, err := gowarp.Run(m, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d committed events in %s (%.0f ev/s), final GVT %s\n",
+		m.Name, res.Stats.EventsCommitted, res.Elapsed.Round(time.Millisecond),
+		res.EventRate(), res.GVT)
+	fmt.Print(res.Stats.Report())
+
+	if *perObject {
+		stats.SortPerObject(res.PerObject)
+		fmt.Println("per-object summary:")
+		for _, po := range res.PerObject {
+			fmt.Printf("  %-18s rollbacks=%-6d HR=%.3f strategy=%-10s chi=%d\n",
+				po.Name, po.Rollbacks, po.HitRatio, po.FinalStrategy, po.FinalCheckpointInt)
+		}
+	}
+
+	if *verify {
+		seq, err := gowarp.RunSequential(m, endTime)
+		if err != nil {
+			fatal(err)
+		}
+		ok := res.Stats.EventsCommitted == seq.EventsExecuted
+		states := true
+		for i := range seq.FinalStates {
+			if !reflect.DeepEqual(res.FinalStates[i], seq.FinalStates[i]) {
+				states = false
+				break
+			}
+		}
+		fmt.Printf("verify: committed %d vs sequential %d (%s); final states %s\n",
+			res.Stats.EventsCommitted, seq.EventsExecuted, okStr(ok), okStr(states))
+		if !ok || !states {
+			os.Exit(1)
+		}
+	}
+}
+
+func okStr(ok bool) string {
+	if ok {
+		return "MATCH"
+	}
+	return strings.ToUpper("mismatch")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "twsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module gowarp
+
+go 1.22

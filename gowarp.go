@@ -1,0 +1,271 @@
+// Package gowarp is a Time Warp parallel discrete event simulation kernel
+// with on-line configuration, reproducing Radhakrishnan, Abu-Ghazaleh,
+// Chetlur and Wilsey, "On-line Configuration of a Time Warp Parallel
+// Discrete Event Simulator" (ICPP 1998).
+//
+// Simulation models are collections of Objects exchanging time-stamped
+// events. The kernel executes them optimistically across logical processes
+// (one goroutine each), detecting causality violations and rolling back as
+// needed; all Time Warp machinery — state saving, rollback, cancellation,
+// GVT, fossil collection — is the kernel's business, invisible to models.
+//
+// Three facets of the kernel can be configured statically or placed under
+// on-line feedback control, as in the paper:
+//
+//   - Check-pointing: a fixed interval, or the Section 4 controller that
+//     adapts the interval to minimize state-saving + coast-forward cost.
+//   - Cancellation: aggressive, lazy, or the Section 5 dynamic selector
+//     driven by the Hit Ratio through a dead-zone threshold (with the PS and
+//     PA freezing variants).
+//   - Message aggregation: none, a fixed window (FAW), or the Section 6
+//     adaptive window (SAAW).
+//
+// A minimal model and run:
+//
+//	m := gowarp.NewPHOLD(gowarp.PHOLDConfig{Objects: 8, LPs: 2})
+//	cfg := gowarp.DefaultConfig(100_000)
+//	cfg.Cancellation = gowarp.CancellationConfig{Mode: gowarp.DynamicCancellation}
+//	res, err := gowarp.Run(m, cfg)
+//
+// The communication substrate simulates a network of workstations: every
+// physical message costs its sender CPU time, so aggregation and
+// cancellation trade-offs are real wall-clock trade-offs. See DESIGN.md for
+// the substitution rationale and EXPERIMENTS.md for the paper reproduction.
+package gowarp
+
+import (
+	"gowarp/internal/apps/logic"
+	"gowarp/internal/apps/phold"
+	"gowarp/internal/apps/qnet"
+	"gowarp/internal/apps/raid"
+	"gowarp/internal/apps/smmp"
+	"gowarp/internal/cancel"
+	"gowarp/internal/comm"
+	"gowarp/internal/conservative"
+	"gowarp/internal/core"
+	"gowarp/internal/event"
+	"gowarp/internal/model"
+	"gowarp/internal/partition"
+	"gowarp/internal/pq"
+	"gowarp/internal/statesave"
+	"gowarp/internal/stats"
+	"gowarp/internal/vtime"
+)
+
+// Model-facing types.
+type (
+	// Model is a complete simulation application: objects plus their
+	// partition onto logical processes.
+	Model = model.Model
+	// Object is a simulation object; see model.Object for the contract.
+	Object = model.Object
+	// State is an object's saveable state; Clone must deep-copy.
+	State = model.State
+	// Context is the kernel handle passed to Init and Execute.
+	Context = model.Context
+	// Event is a time-stamped message between objects.
+	Event = event.Event
+	// ObjectID names a simulation object.
+	ObjectID = event.ObjectID
+	// VTime is a point in virtual time.
+	VTime = vtime.Time
+	// Rand is the deterministic, state-embeddable random generator models
+	// must use for any randomness (see model.Rand).
+	Rand = model.Rand
+	// Partition maps objects to logical processes.
+	Partition = model.Partition
+)
+
+// NewRand returns a Rand seeded from seed; store it by value inside object
+// state so rollbacks restore the stream.
+func NewRand(seed uint64) Rand { return model.NewRand(seed) }
+
+// EndOfTime is the virtual time beyond every finite timestamp.
+const EndOfTime = vtime.PosInf
+
+// Configuration types.
+type (
+	// Config is the simulator configuration (the paper's term for the
+	// choice of sub-algorithms and their parameters).
+	Config = core.Config
+	// CheckpointConfig configures state saving (paper Section 4).
+	CheckpointConfig = statesave.Config
+	// CancellationConfig configures cancellation selection (Section 5).
+	CancellationConfig = cancel.Config
+	// AggregationConfig configures message aggregation (Section 6).
+	AggregationConfig = comm.AggConfig
+	// CostModel is the simulated communication cost model.
+	CostModel = comm.CostModel
+	// Result is what a run produces.
+	Result = core.Result
+	// SeqResult is what a sequential reference run produces.
+	SeqResult = core.SeqResult
+	// Counters is the statistics tally.
+	Counters = stats.Counters
+	// Sample is one adaptation-timeline point (set Config.Timeline).
+	Sample = core.Sample
+	// LPTimeline is one logical process's adaptation timeline.
+	LPTimeline = core.LPTimeline
+)
+
+// Checkpointing modes.
+const (
+	// PeriodicCheckpointing saves state every χ events, χ fixed.
+	PeriodicCheckpointing = statesave.Periodic
+	// DynamicCheckpointing adapts χ on line (paper Section 4).
+	DynamicCheckpointing = statesave.Dynamic
+)
+
+// Cancellation modes.
+const (
+	// AggressiveCancellation cancels immediately on rollback (AC).
+	AggressiveCancellation = cancel.StaticAggressive
+	// LazyCancellation delays cancellation pending re-execution (LC).
+	LazyCancellation = cancel.StaticLazy
+	// DynamicCancellation selects per object via the Hit Ratio (DC).
+	DynamicCancellation = cancel.Dynamic
+)
+
+// Aggregation policies.
+const (
+	// NoAggregation sends each event as its own physical message.
+	NoAggregation = comm.NoAggregation
+	// FAW holds aggregates for a fixed window.
+	FAW = comm.FAW
+	// SAAW adapts the window with the age-modified reception rate.
+	SAAW = comm.SAAW
+)
+
+// Pending-set implementations (a kernel design choice; see the ablation
+// benchmarks).
+const (
+	// HeapPendingSet is an index-tracked binary heap (the default).
+	HeapPendingSet = pq.Heap
+	// SplayPendingSet is a splay tree.
+	SplayPendingSet = pq.Splay
+	// CalendarPendingSet is a calendar queue.
+	CalendarPendingSet = pq.Calendar
+)
+
+// DefaultConfig returns the all-static baseline configuration of the paper's
+// experiments: periodic check-pointing, aggressive cancellation, no
+// aggregation.
+func DefaultConfig(endTime VTime) Config { return core.DefaultConfig(endTime) }
+
+// DefaultCostModel returns the network-of-workstations communication cost
+// model used by the reproduction benchmarks.
+func DefaultCostModel() CostModel { return comm.DefaultCostModel() }
+
+// Run executes m under cfg on the parallel Time Warp kernel, blocking until
+// GVT passes cfg.EndTime or the model drains.
+func Run(m *Model, cfg Config) (*Result, error) { return core.Run(m, cfg) }
+
+// RunSequential executes m on the sequential reference kernel: strict global
+// timestamp order, no optimism. Its results define correctness for Run.
+func RunSequential(m *Model, endTime VTime) (*SeqResult, error) {
+	return core.RunSequential(m, endTime, 0)
+}
+
+// Conservative synchronization (the Chandy-Misra-Bryant null-message
+// protocol), the baseline family Time Warp is contrasted against in the
+// paper's Section 2. The model must honour cfg.Lookahead: every send's delay
+// is at least that far in the future.
+type (
+	// ConservativeConfig parameterizes RunConservative.
+	ConservativeConfig = conservative.Config
+	// ConservativeResult is what RunConservative produces.
+	ConservativeResult = conservative.Result
+)
+
+// Tuner allows external adjustment of a running simulation's parameters
+// (set Config.Tuner); see core.Tuner.
+type Tuner = core.Tuner
+
+// NewTuner returns a tuner with no overrides.
+func NewTuner() *Tuner { return core.NewTuner() }
+
+// RenderTimeline formats per-LP adaptation timelines (Result.Timeline) as
+// an aligned table, thinned to at most maxRows rows per LP (0 = all).
+func RenderTimeline(tls []LPTimeline, maxRows int) string {
+	return core.RenderTimeline(tls, maxRows)
+}
+
+// RunConservative executes m under CMB null-message synchronization.
+func RunConservative(m *Model, cfg ConservativeConfig) (*ConservativeResult, error) {
+	return conservative.Run(m, cfg)
+}
+
+// Partitioning utilities (the paper notes the optimal cancellation strategy
+// "is sensitive to the partitioning scheme"; its model generators partition
+// to exploit fast intra-LP communication).
+type (
+	// PartitionGraph is a weighted object-communication graph.
+	PartitionGraph = partition.Graph
+)
+
+// NewPartitionGraph returns an empty communication graph over n objects.
+func NewPartitionGraph(n int) *PartitionGraph { return partition.NewGraph(n) }
+
+// BlockPartition assigns objects to LPs in contiguous ranges.
+func BlockPartition(n, lps int) Partition { return partition.Block(n, lps) }
+
+// RoundRobinPartition cycles objects across LPs.
+func RoundRobinPartition(n, lps int) Partition { return partition.RoundRobin(n, lps) }
+
+// GreedyPartition builds a communication-aware partition of g onto lps
+// logical processes (greedy seeding plus Kernighan-Lin-style refinement).
+func GreedyPartition(g *PartitionGraph, lps int) Partition { return partition.Greedy(g, lps) }
+
+// Bundled models (the paper's two applications plus the PHOLD synthetic).
+type (
+	// SMMPConfig parameterizes the shared-memory multiprocessor model.
+	SMMPConfig = smmp.Config
+	// RAIDConfig parameterizes the RAID disk-array model.
+	RAIDConfig = raid.Config
+	// PHOLDConfig parameterizes the PHOLD synthetic workload.
+	PHOLDConfig = phold.Config
+)
+
+// NewSMMP builds the paper's SMMP application (Section 7): processors with
+// local caches over an interleaved global memory. The zero config is the
+// paper's 16-processor / 4-LP setup.
+func NewSMMP(cfg SMMPConfig) *Model { return smmp.New(cfg) }
+
+// NewRAID builds the paper's RAID application (Section 7): request sources,
+// striping forks and disks. The zero config is the paper's 20-source /
+// 4-fork / 8-disk / 4-LP setup.
+func NewRAID(cfg RAIDConfig) *Model { return raid.New(cfg) }
+
+// NewPHOLD builds the PHOLD synthetic workload.
+func NewPHOLD(cfg PHOLDConfig) *Model { return phold.New(cfg) }
+
+// QNetConfig parameterizes the closed queueing-network model, the classic
+// PDES benchmark family whose FCFS order-sensitivity makes aggressive
+// cancellation win (the counterpoint to SMMP and gate-level logic).
+type QNetConfig = qnet.Config
+
+// NewQNet builds a closed queueing network of FCFS stations.
+func NewQNet(cfg QNetConfig) *Model { return qnet.New(cfg) }
+
+// Gate-level digital logic simulation (the paper group's own application
+// domain: digital systems models in VHDL).
+type (
+	// LogicConfig parameterizes a logic-circuit model.
+	LogicConfig = logic.Config
+	// Netlist is a gate-level circuit description.
+	Netlist = logic.Netlist
+)
+
+// NewLogic builds a simulation model from a netlist.
+func NewLogic(nl *Netlist, cfg LogicConfig) *Model { return logic.New(nl, cfg) }
+
+// NewLogicPipeline builds a synchronous pipelined circuit: width bits
+// through the given number of combinational+register stages.
+func NewLogicPipeline(width, stages int, cfg LogicConfig) *Model {
+	return logic.NewPipeline(width, stages, cfg)
+}
+
+// LFSRNetlist builds a linear-feedback shift register circuit.
+func LFSRNetlist(width int, taps []int, clockPeriod VTime) *Netlist {
+	return logic.LFSR(width, taps, clockPeriod)
+}

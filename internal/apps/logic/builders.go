@@ -1,0 +1,124 @@
+package logic
+
+import (
+	"fmt"
+
+	"gowarp/internal/model"
+	"gowarp/internal/vtime"
+)
+
+// LFSR builds a Fibonacci linear-feedback shift register of the given width
+// with XOR feedback from the listed tap positions (0-based from the output
+// end), clocked every clockPeriod, with a probe on the output bit. The
+// register is seeded by loading a stimulus bit into the first stage for the
+// first few cycles... no — hardware-style: the feedback XOR takes the tapped
+// stages; an OR with a one-shot stimulus injects a 1 to break the all-zeros
+// state.
+//
+// Gate layout: [clock, stim, inject-OR, xor-feedback, dff_0..dff_{w-1},
+// probe]; dff_0's D input is the inject-OR of (feedback XOR, stimulus).
+func LFSR(width int, taps []int, clockPeriod vtime.Time) *Netlist {
+	if width < 2 {
+		width = 2
+	}
+	nl := &Netlist{Name: fmt.Sprintf("lfsr%d", width)}
+	const (
+		clk    = 0
+		stim   = 1
+		inject = 2
+		fb     = 3
+	)
+	dff := func(i int) int { return 4 + i }
+	probe := 4 + width
+
+	nl.Gates = make([]Gate, probe+1)
+	nl.Gates[clk] = Gate{Kind: Clock, Period: clockPeriod, Delay: 1}
+	nl.Gates[stim] = Gate{Kind: Stimulus, Period: clockPeriod * 16, Delay: 1}
+	nl.Gates[inject] = Gate{Kind: OR, Inputs: 2, Delay: 1}
+	nl.Gates[fb] = Gate{Kind: XOR, Inputs: len(taps), Delay: 1}
+
+	// Clock drives every DFF's clock pin.
+	for i := 0; i < width; i++ {
+		nl.Gates[clk].Fanout = append(nl.Gates[clk].Fanout, Pin{Gate: dff(i), Pin: 1})
+	}
+	// Stimulus and feedback feed the inject-OR, which feeds dff_0's D.
+	nl.Gates[stim].Fanout = []Pin{{Gate: inject, Pin: 0}}
+	nl.Gates[fb].Fanout = []Pin{{Gate: inject, Pin: 1}}
+	nl.Gates[inject].Fanout = []Pin{{Gate: dff(0), Pin: 0}}
+	// Shift chain: dff_i -> dff_{i+1}.D; last dff -> probe.
+	for i := 0; i < width-1; i++ {
+		nl.Gates[dff(i)] = Gate{Kind: DFF, Delay: 1, Fanout: []Pin{{Gate: dff(i + 1), Pin: 0}}}
+	}
+	nl.Gates[dff(width-1)] = Gate{Kind: DFF, Delay: 1, Fanout: []Pin{{Gate: probe, Pin: 0}}}
+	// Taps feed the feedback XOR.
+	for ti, t := range taps {
+		if t < 0 || t >= width {
+			panic(fmt.Sprintf("logic: tap %d out of range", t))
+		}
+		nl.Gates[dff(t)].Fanout = append(nl.Gates[dff(t)].Fanout, Pin{Gate: fb, Pin: ti})
+	}
+	nl.Gates[probe] = Gate{Kind: Probe, Delay: 1}
+	return nl
+}
+
+// Pipeline builds a synchronous pipeline: `width` stimulus-driven input
+// bits, `stages` ranks of two-input combinational gates, a DFF rank after
+// every combinational rank (all on one clock), and probes on the final
+// outputs. Gate kinds rotate through XOR/AND/OR/NAND so the logic is neither
+// constant nor trivially transparent. Ranks are laid out contiguously so a
+// block partition cuts between ranks — the communication pattern of a
+// pipelined digital design.
+func Pipeline(width, stages int, clockPeriod vtime.Time) *Netlist {
+	if width < 2 {
+		width = 2
+	}
+	if stages < 1 {
+		stages = 1
+	}
+	nl := &Netlist{Name: fmt.Sprintf("pipe%dx%d", width, stages)}
+
+	add := func(g Gate) int {
+		nl.Gates = append(nl.Gates, g)
+		return len(nl.Gates) - 1
+	}
+	clk := add(Gate{Kind: Clock, Period: clockPeriod, Delay: 1})
+
+	// Input rank: stimulus bits (slower than the clock so values hold
+	// across edges).
+	prev := make([]int, width)
+	for i := range prev {
+		prev[i] = add(Gate{Kind: Stimulus, Period: clockPeriod * 2, Delay: 1})
+	}
+
+	kinds := []GateKind{XOR, AND, OR, NAND}
+	for s := 0; s < stages; s++ {
+		// Combinational rank: gate i combines prev[i] and prev[(i+1)%w].
+		comb := make([]int, width)
+		for i := range comb {
+			comb[i] = add(Gate{Kind: kinds[(s+i)%len(kinds)], Inputs: 2, Delay: 1})
+		}
+		for i := range prev {
+			nl.Gates[prev[i]].Fanout = append(nl.Gates[prev[i]].Fanout, Pin{Gate: comb[i], Pin: 0})
+			nl.Gates[prev[i]].Fanout = append(nl.Gates[prev[i]].Fanout, Pin{Gate: comb[(i+width-1)%width], Pin: 1})
+		}
+		// Register rank.
+		regs := make([]int, width)
+		for i := range regs {
+			regs[i] = add(Gate{Kind: DFF, Delay: 1})
+			nl.Gates[comb[i]].Fanout = append(nl.Gates[comb[i]].Fanout, Pin{Gate: regs[i], Pin: 0})
+			nl.Gates[clk].Fanout = append(nl.Gates[clk].Fanout, Pin{Gate: regs[i], Pin: 1})
+		}
+		prev = regs
+	}
+	for _, r := range prev {
+		p := add(Gate{Kind: Probe, Delay: 1})
+		nl.Gates[r].Fanout = append(nl.Gates[r].Fanout, Pin{Gate: p, Pin: 0})
+	}
+	return nl
+}
+
+// NewPipeline is a convenience building the Pipeline netlist's model with a
+// block partition cutting between pipeline ranks.
+func NewPipeline(width, stages int, cfg Config) *model.Model {
+	return New(Pipeline(width, stages, 10), cfg)
+}

@@ -1,0 +1,97 @@
+package phold
+
+import (
+	"testing"
+
+	"gowarp/internal/core"
+	"gowarp/internal/vtime"
+)
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Objects < 1 || c.TokensPerObject < 1 || c.MeanDelay <= 0 {
+		t.Error("defaults incomplete")
+	}
+	c2 := Config{Objects: 4, LPs: 16}.withDefaults()
+	if c2.LPs != 4 {
+		t.Errorf("LPs clamp: %d", c2.LPs)
+	}
+}
+
+func TestModelStructure(t *testing.T) {
+	m := New(Config{Objects: 12, LPs: 3})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Objects) != 12 || m.NumLPs() != 3 {
+		t.Errorf("objects=%d lps=%d", len(m.Objects), m.NumLPs())
+	}
+}
+
+// TestTokenConservation: PHOLD's population is closed — every received
+// token is forwarded, so total receives == total forwarded sends and the
+// live population stays Objects×TokensPerObject.
+func TestTokenConservation(t *testing.T) {
+	cfg := Config{Objects: 8, TokensPerObject: 2, MeanDelay: 10, LPs: 2, Seed: 3}
+	m := New(cfg)
+	res, err := core.RunSequential(m, 5000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var received int64
+	for _, st := range res.FinalStates {
+		received += st.(*state).Received
+	}
+	if received != res.EventsExecuted {
+		t.Errorf("received %d, executed %d", received, res.EventsExecuted)
+	}
+	if received == 0 {
+		t.Error("no tokens moved")
+	}
+}
+
+func TestLocalityRouting(t *testing.T) {
+	// Locality 1: every hop stays on the sender's LP; the model then
+	// partitions into independent per-LP submodels with no inter-LP
+	// traffic, which the kernel runs without any rollbacks.
+	m := New(Config{Objects: 8, TokensPerObject: 2, MeanDelay: 10, LPs: 4, Locality: 1, Seed: 4})
+	cfg := core.DefaultConfig(20_000)
+	res, err := core.Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EventMsgsSent != 0 {
+		t.Errorf("locality 1 produced %d inter-LP messages", res.Stats.EventMsgsSent)
+	}
+	if res.Stats.Rollbacks != 0 {
+		t.Errorf("locality 1 produced %d rollbacks", res.Stats.Rollbacks)
+	}
+}
+
+func TestStatePaddingTouched(t *testing.T) {
+	m := New(Config{Objects: 2, TokensPerObject: 1, MeanDelay: 5, LPs: 1, Seed: 6, StatePadding: 64})
+	res, err := core.RunSequential(m, 2000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := false
+	for _, st := range res.FinalStates {
+		for _, b := range st.(*state).Pad {
+			if b != 0 {
+				touched = true
+			}
+		}
+	}
+	if !touched {
+		t.Error("padding is dead weight; the model should touch it")
+	}
+}
+
+func TestStateBytes(t *testing.T) {
+	s := &state{Pad: make([]byte, 100)}
+	if s.StateBytes() <= 100 {
+		t.Error("StateBytes must include the fixed fields")
+	}
+}
+
+var _ = vtime.Zero

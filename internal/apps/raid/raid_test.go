@@ -1,0 +1,151 @@
+package raid
+
+import (
+	"testing"
+
+	"gowarp/internal/core"
+	"gowarp/internal/event"
+	"gowarp/internal/model"
+	"gowarp/internal/vtime"
+)
+
+// nullCtx is a model.Context that swallows sends, for driving a single
+// object's Execute in isolation.
+type nullCtx struct{}
+
+func (nullCtx) Self() event.ObjectID { return 0 }
+func (nullCtx) Now() vtime.Time      { return 0 }
+func (nullCtx) EndTime() vtime.Time  { return vtime.PosInf }
+func (nullCtx) Send(event.ObjectID, vtime.Time, uint32, []byte) {}
+
+var _ model.Context = nullCtx{}
+
+// subRequest builds a KindSubRequest event for the given geometry.
+func subRequest(cyl uint32, sector uint16) *event.Event {
+	return &event.Event{Kind: KindSubRequest, Payload: encodeSub(0, 1, cyl, sector, 0)}
+}
+
+func TestEncodeDecodeSub(t *testing.T) {
+	p := encodeSub(7, 1234, 987, 42, 3)
+	src, seq, cyl, sector, sub := decodeSub(p)
+	if src != 7 || seq != 1234 || cyl != 987 || sector != 42 || sub != 3 {
+		t.Fatalf("round trip: %d %d %d %d %d", src, seq, cyl, sector, sub)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Sources != 20 || c.Forks != 4 || c.Disks != 8 || c.LPs != 4 {
+		t.Errorf("paper topology: %d/%d/%d on %d LPs", c.Sources, c.Forks, c.Disks, c.LPs)
+	}
+	if c.StripeWidth > c.Disks {
+		t.Error("stripe width must not exceed disks")
+	}
+}
+
+func TestModelStructure(t *testing.T) {
+	m := New(Config{})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(m.Objects), 20+4+8; got != want {
+		t.Errorf("objects = %d, want %d", got, want)
+	}
+	// Sources share their fork's LP (cheap intra-LP submission).
+	for i := 0; i < 20; i++ {
+		f := i * 4 / 20
+		if m.Partition[i] != m.Partition[20+f] {
+			t.Errorf("source %d not co-located with fork %d", i, f)
+		}
+	}
+}
+
+func TestSequentialInvariants(t *testing.T) {
+	const requests = 100
+	cfg := Config{RequestsPerSource: requests, Seed: 5}
+	m := New(cfg)
+	res, err := core.RunSequential(m, vtime.Time(1)<<40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := cfg.withDefaults()
+	var issued, completed, phantoms, routed, served int64
+	for _, st := range res.FinalStates {
+		switch s := st.(type) {
+		case *sourceState:
+			issued += s.Issued
+			completed += s.Completed
+			phantoms += s.Phantoms
+			if len(s.PendingSubs) != 0 || len(s.IssueTimes) != 0 {
+				t.Error("source finished with dangling requests")
+			}
+		case *forkState:
+			routed += s.Routed
+		case *diskState:
+			served += s.Served
+		}
+	}
+	if issued != 20*requests || completed != issued {
+		t.Errorf("issued=%d completed=%d", issued, completed)
+	}
+	if phantoms != 0 {
+		t.Errorf("sequential run observed %d phantoms (must be impossible)", phantoms)
+	}
+	if routed != issued {
+		t.Errorf("forks routed %d, want %d", routed, issued)
+	}
+	if served != issued*int64(dc.StripeWidth) {
+		t.Errorf("disks served %d, want %d", served, issued*int64(dc.StripeWidth))
+	}
+}
+
+func TestDiskServiceOrderInsensitiveByDefault(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	d := &disk{name: "d", cfg: cfg}
+	// Same sub-request twice, interleaved with a different one: the reply
+	// delay must depend only on the request itself.
+	st1 := d.InitialState().(*diskState)
+	delay := func(dd *disk, st *diskState, cyl uint32, sector uint16) vtime.Time {
+		before := st.Busy
+		dd.Execute(nullCtx{}, st, subRequest(cyl, sector))
+		return vtime.Time(st.Busy - before)
+	}
+	a1 := delay(d, st1, 100, 5)
+	_ = delay(d, st1, 900, 60)
+	a2 := delay(d, st1, 100, 5)
+	if a1 != a2 {
+		t.Errorf("default disk service is order-sensitive: %s vs %s", a1, a2)
+	}
+
+	// With head tracking, the same request costs differently after a seek.
+	cfg.OrderSensitiveDisks = true
+	d2 := &disk{name: "d2", cfg: cfg}
+	st2 := d2.InitialState().(*diskState)
+	b1 := delay(d2, st2, 100, 5)
+	_ = delay(d2, st2, 900, 60)
+	b2 := delay(d2, st2, 100, 5)
+	if b1 == b2 {
+		t.Error("head-tracking disk service should depend on order")
+	}
+}
+
+func TestStateCloneIsDeep(t *testing.T) {
+	s := &sourceState{
+		PendingSubs: map[uint32]int{1: 2},
+		IssueTimes:  map[uint32]vtime.Time{1: 5},
+		Pad:         []byte{1},
+	}
+	c := s.Clone().(*sourceState)
+	c.PendingSubs[1] = 99
+	c.IssueTimes[1] = 99
+	c.Pad[0] = 99
+	if s.PendingSubs[1] != 2 || s.IssueTimes[1] != 5 || s.Pad[0] != 1 {
+		t.Error("sourceState.Clone shares references")
+	}
+}
+
+func TestTotalRequests(t *testing.T) {
+	if got := TotalRequests(Config{RequestsPerSource: 1000}); got != 20000 {
+		t.Errorf("TotalRequests = %d", got)
+	}
+}

@@ -1,0 +1,139 @@
+package smmp
+
+import (
+	"testing"
+
+	"gowarp/internal/core"
+	"gowarp/internal/event"
+	"gowarp/internal/vtime"
+)
+
+func TestEncodeDecodeReq(t *testing.T) {
+	p := encodeReq(0xDEADBEEF, 77, 12, 345)
+	addr, seq, cache := decodeReq(p)
+	if addr != 0xDEADBEEF || seq != 77 || cache != 12 {
+		t.Fatalf("round trip: addr=%x seq=%d cache=%d", addr, seq, cache)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Processors != 16 || c.LPs != 4 {
+		t.Errorf("paper defaults: %d processors / %d LPs", c.Processors, c.LPs)
+	}
+	if c.CacheDelay != 10 || c.MemDelay != 100 {
+		t.Errorf("paper speeds: cache %s, memory %s", c.CacheDelay, c.MemDelay)
+	}
+	if c.HitRatio != 0.9 {
+		t.Errorf("paper hit ratio: %g", c.HitRatio)
+	}
+	// LPs never exceed processors.
+	c2 := Config{Processors: 2, LPs: 8}.withDefaults()
+	if c2.LPs != 2 {
+		t.Errorf("LPs clamp: %d", c2.LPs)
+	}
+}
+
+func TestModelStructure(t *testing.T) {
+	m := New(Config{})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(m.Objects), 16*3+4; got != want {
+		t.Errorf("objects = %d, want %d", got, want)
+	}
+	// Each processor pipeline shares one LP.
+	for i := 0; i < 16; i++ {
+		lp := m.Partition[3*i]
+		if m.Partition[3*i+1] != lp || m.Partition[3*i+2] != lp {
+			t.Errorf("processor %d pipeline split across LPs", i)
+		}
+	}
+	// One bank per LP.
+	seen := map[int]bool{}
+	for b := 0; b < 4; b++ {
+		seen[m.Partition[16*3+b]] = true
+	}
+	if len(seen) != 4 {
+		t.Error("banks not spread across LPs")
+	}
+}
+
+// TestSequentialInvariants runs the model on the reference kernel and checks
+// the accounting invariants: every generated request is eventually answered,
+// hits+misses = requests, fills = misses.
+func TestSequentialInvariants(t *testing.T) {
+	const requests = 200
+	m := New(Config{Requests: requests, Seed: 9})
+	res, err := core.RunSequential(m, vtime.Time(1)<<40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var issued, done, hits, misses, fills, served, routed int64
+	for i, st := range res.FinalStates {
+		switch s := st.(type) {
+		case *cpuState:
+			issued += s.Issued
+			done += s.Done
+			if s.Issued != requests {
+				t.Errorf("cpu %d issued %d, want %d", i, s.Issued, requests)
+			}
+		case *cacheState:
+			hits += s.Hits
+			misses += s.Misses
+			fills += s.Fills
+		case *bankState:
+			served += s.Served
+		case *portState:
+			routed += s.Routed
+		}
+	}
+	if issued != 16*requests {
+		t.Errorf("issued = %d", issued)
+	}
+	if done != issued {
+		t.Errorf("done = %d, want %d (closed books: every request answered)", done, issued)
+	}
+	if hits+misses != issued {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, issued)
+	}
+	if fills != misses || served != misses || routed != misses {
+		t.Errorf("miss path: misses=%d fills=%d served=%d routed=%d", misses, fills, served, routed)
+	}
+	ratio := float64(hits) / float64(issued)
+	if ratio < 0.85 || ratio > 0.95 {
+		t.Errorf("empirical hit ratio %.3f far from configured 0.9", ratio)
+	}
+}
+
+func TestUnexpectedKindPanics(t *testing.T) {
+	m := New(Config{})
+	cpuObj := m.Objects[0]
+	defer func() {
+		if recover() == nil {
+			t.Error("cpu must reject unknown event kinds")
+		}
+	}()
+	cpuObj.Execute(nil, cpuObj.InitialState(), &event.Event{Kind: 999})
+}
+
+func TestStateCloneIsDeep(t *testing.T) {
+	s := &cpuState{Pad: []byte{1, 2, 3}}
+	c := s.Clone().(*cpuState)
+	c.Pad[0] = 9
+	if s.Pad[0] != 1 {
+		t.Error("cpuState.Clone shares padding")
+	}
+	cs := &cacheState{Pad: []byte{1}}
+	cc := cs.Clone().(*cacheState)
+	cc.Pad[0] = 9
+	if cs.Pad[0] != 1 {
+		t.Error("cacheState.Clone shares padding")
+	}
+}
+
+func TestTotalRequests(t *testing.T) {
+	if got := TotalRequests(Config{Requests: 100}); got != 1600 {
+		t.Errorf("TotalRequests = %d", got)
+	}
+}

@@ -1,0 +1,358 @@
+package cancel
+
+import (
+	"testing"
+
+	"gowarp/internal/event"
+	"gowarp/internal/stats"
+	"gowarp/internal/vtime"
+)
+
+func TestSelectorStatic(t *testing.T) {
+	ac := NewSelector(Config{Mode: StaticAggressive})
+	if ac.Current() != Aggressive || ac.Monitoring() {
+		t.Error("static aggressive selector misconfigured")
+	}
+	lc := NewSelector(Config{Mode: StaticLazy})
+	if lc.Current() != Lazy || lc.Monitoring() {
+		t.Error("static lazy selector misconfigured")
+	}
+	// Static selectors never switch regardless of comparisons.
+	for i := 0; i < 100; i++ {
+		ac.RecordComparison(true)
+		lc.RecordComparison(false)
+	}
+	if ac.Current() != Aggressive || lc.Current() != Lazy {
+		t.Error("static selector switched")
+	}
+}
+
+func TestSelectorDynamicSwitches(t *testing.T) {
+	s := NewSelector(Config{
+		Mode: Dynamic, FilterDepth: 8,
+		A2LThreshold: 0.45, L2AThreshold: 0.2, Period: 1,
+	})
+	if s.Current() != Aggressive {
+		t.Fatal("initial state must be aggressive (the paper's S)")
+	}
+	// A run of hits lifts HR above A2L: switch to lazy.
+	for i := 0; i < 8; i++ {
+		s.RecordComparison(true)
+	}
+	if s.Current() != Lazy {
+		t.Fatalf("HR=%.2f did not switch to lazy", s.HitRatio())
+	}
+	// Misses drop HR below L2A: back to aggressive.
+	for i := 0; i < 8; i++ {
+		s.RecordComparison(false)
+	}
+	if s.Current() != Aggressive {
+		t.Fatalf("HR=%.2f did not switch back to aggressive", s.HitRatio())
+	}
+	if s.Switches != 2 {
+		t.Errorf("Switches = %d, want 2", s.Switches)
+	}
+}
+
+func TestSelectorDeadZoneDamps(t *testing.T) {
+	s := NewSelector(Config{
+		Mode: Dynamic, FilterDepth: 10,
+		A2LThreshold: 0.45, L2AThreshold: 0.2, Period: 1,
+	})
+	// Fill with hits (HR 1.0, lazy), then decay the ratio into the dead
+	// zone with misses; an HR inside (0.2, 0.45) must hold lazy.
+	for i := 0; i < 10; i++ {
+		s.RecordComparison(true)
+	}
+	if s.Current() != Lazy {
+		t.Fatal("setup failed")
+	}
+	for i := 0; i < 6; i++ {
+		s.RecordComparison(false)
+	}
+	hr := s.HitRatio()
+	if hr <= 0.2 || hr >= 0.45 {
+		t.Fatalf("test drifted out of the dead zone: HR=%.2f", hr)
+	}
+	if s.Current() != Lazy {
+		t.Error("dead zone failed to hold the lazy state")
+	}
+}
+
+func TestSelectorPS(t *testing.T) {
+	s := NewSelector(Config{
+		Mode: Dynamic, FilterDepth: 8, Period: 1, PermanentAfter: 8,
+	})
+	for i := 0; i < 8; i++ {
+		s.RecordComparison(true)
+	}
+	if s.Current() != Lazy {
+		t.Fatal("PS should have decided lazy")
+	}
+	if s.Monitoring() {
+		t.Error("PS must stop monitoring after freezing")
+	}
+	// Frozen: further comparisons are ignored.
+	for i := 0; i < 20; i++ {
+		s.RecordComparison(false)
+	}
+	if s.Current() != Lazy {
+		t.Error("frozen PS switched")
+	}
+}
+
+func TestSelectorPA(t *testing.T) {
+	s := NewSelector(Config{
+		Mode: Dynamic, FilterDepth: 32, Period: 1,
+		PermanentAggressiveRun: 10,
+	})
+	// Get to lazy first.
+	for i := 0; i < 32; i++ {
+		s.RecordComparison(true)
+	}
+	if s.Current() != Lazy {
+		t.Fatal("setup failed")
+	}
+	// 10 consecutive misses pin aggressive.
+	for i := 0; i < 10; i++ {
+		s.RecordComparison(false)
+	}
+	if s.Current() != Aggressive || s.Monitoring() {
+		t.Errorf("PA did not pin aggressive (current %s)", s.Current())
+	}
+}
+
+func TestStrategyAndModeStrings(t *testing.T) {
+	if Aggressive.String() != "aggressive" || Lazy.String() != "lazy" {
+		t.Error("strategy names")
+	}
+	if StaticAggressive.String() != "aggressive" || StaticLazy.String() != "lazy" || Dynamic.String() != "dynamic" {
+		t.Error("mode names")
+	}
+}
+
+// --- Manager tests ---
+
+type harness struct {
+	m     *Manager
+	st    stats.Counters
+	antis []*event.Event
+	seq   uint64
+}
+
+func newHarness(mode Mode) *harness {
+	h := &harness{}
+	sel := NewSelector(Config{Mode: mode, FilterDepth: 8, Period: 1})
+	h.m = NewManager(sel, func(a *event.Event) { h.antis = append(h.antis, a) }, &h.st)
+	return h
+}
+
+// in makes an input event of this object (receiver 1).
+func in(recv vtime.Time, id uint64) *event.Event {
+	return &event.Event{RecvTime: recv, Receiver: 1, Sender: 0, ID: id, SendSeq: uint32(id)}
+}
+
+// out makes an output message from this object to object 2.
+func (h *harness) out(send, recv vtime.Time, payload byte) *event.Event {
+	h.seq++
+	return &event.Event{
+		SendTime: send, RecvTime: recv, Sender: 1, Receiver: 2,
+		ID: h.seq, SendSeq: uint32(send), Payload: []byte{payload},
+	}
+}
+
+func TestManagerAggressiveRollback(t *testing.T) {
+	h := newHarness(StaticAggressive)
+	g1, g2, g3 := in(10, 1), in(20, 2), in(30, 3)
+	h.m.RecordSent(h.out(10, 40, 'a'), g1)
+	h.m.RecordSent(h.out(20, 50, 'b'), g2)
+	h.m.RecordSent(h.out(30, 60, 'c'), g3)
+
+	// Straggler at 15: outputs of g2 and g3 must be cancelled immediately.
+	strat := h.m.OnRollback(in(15, 99))
+	if strat != Aggressive {
+		t.Fatalf("strategy = %s", strat)
+	}
+	if len(h.antis) != 2 {
+		t.Fatalf("%d anti-messages, want 2", len(h.antis))
+	}
+	for _, a := range h.antis {
+		if !a.IsAnti() {
+			t.Error("emitted message is not an anti-message")
+		}
+	}
+	if h.m.SentLen() != 1 || h.m.PendingLen() != 0 {
+		t.Errorf("queues: sent %d pending %d", h.m.SentLen(), h.m.PendingLen())
+	}
+	if h.st.AntiMsgsSent != 2 {
+		t.Errorf("AntiMsgsSent = %d", h.st.AntiMsgsSent)
+	}
+}
+
+func TestManagerLazyHit(t *testing.T) {
+	h := newHarness(StaticLazy)
+	g2 := in(20, 2)
+	orig := h.out(20, 50, 'b')
+	h.m.RecordSent(orig, g2)
+
+	h.m.OnRollback(in(15, 99))
+	if len(h.antis) != 0 {
+		t.Fatal("lazy rollback must not cancel immediately")
+	}
+	if h.m.PendingLen() != 1 {
+		t.Fatalf("PendingLen = %d", h.m.PendingLen())
+	}
+	// Re-execution of g2 regenerates identical content: lazy hit.
+	regen := h.out(20, 50, 'b')
+	if h.m.FilterOutput(regen, g2) {
+		t.Fatal("identical regeneration must not transmit (original stands)")
+	}
+	if h.m.PendingLen() != 0 || h.m.SentLen() != 1 {
+		t.Error("hit must reinstate the original into the output queue")
+	}
+	h.m.AfterExecute(g2)
+	if len(h.antis) != 0 {
+		t.Error("hit entry must not be cancelled afterwards")
+	}
+	if h.st.LazyHits != 1 || h.st.LazyMisses != 0 {
+		t.Errorf("hits/misses = %d/%d", h.st.LazyHits, h.st.LazyMisses)
+	}
+}
+
+func TestManagerLazyMiss(t *testing.T) {
+	h := newHarness(StaticLazy)
+	g2 := in(20, 2)
+	h.m.RecordSent(h.out(20, 50, 'b'), g2)
+	h.m.OnRollback(in(15, 99))
+
+	// Re-execution produces different content: transmit new, and after g2
+	// completes the unmatched original is cancelled.
+	regen := h.out(20, 50, 'X')
+	if !h.m.FilterOutput(regen, g2) {
+		t.Fatal("different content must transmit")
+	}
+	h.m.RecordSent(regen, g2)
+	h.m.AfterExecute(g2)
+	if len(h.antis) != 1 {
+		t.Fatalf("%d antis after miss, want 1", len(h.antis))
+	}
+	if h.st.LazyMisses != 1 {
+		t.Errorf("misses = %d", h.st.LazyMisses)
+	}
+	if h.m.SentLen() != 1 {
+		t.Errorf("SentLen = %d", h.m.SentLen())
+	}
+}
+
+func TestManagerLazyExpiryOnSkippedGen(t *testing.T) {
+	h := newHarness(StaticLazy)
+	g2 := in(20, 2)
+	h.m.RecordSent(h.out(20, 50, 'b'), g2)
+	h.m.OnRollback(in(15, 99))
+	// g2 never re-executes (annihilated); executing a later event expires
+	// the pending entry as a miss.
+	h.m.AfterExecute(in(25, 5))
+	if len(h.antis) != 1 || h.st.LazyMisses != 1 {
+		t.Fatalf("antis=%d misses=%d", len(h.antis), h.st.LazyMisses)
+	}
+}
+
+func TestManagerPassiveComparison(t *testing.T) {
+	h := newHarness(Dynamic) // dynamic starts aggressive with monitoring
+	g2 := in(20, 2)
+	h.m.RecordSent(h.out(20, 50, 'b'), g2)
+	h.m.OnRollback(in(15, 99))
+	if len(h.antis) != 1 {
+		t.Fatal("aggressive with monitoring must still cancel immediately")
+	}
+	if h.m.PendingLen() != 1 {
+		t.Fatal("passive entry must be retained for comparison")
+	}
+	// A passive hit still transmits (the original was annihilated).
+	regen := h.out(20, 50, 'b')
+	if !h.m.FilterOutput(regen, g2) {
+		t.Fatal("passive hit must transmit the regenerated message")
+	}
+	if h.st.LazyHits != 1 {
+		t.Errorf("hits = %d", h.st.LazyHits)
+	}
+	if len(h.antis) != 1 {
+		t.Error("passive hit must not emit another anti")
+	}
+}
+
+func TestManagerMinPendingAndDrain(t *testing.T) {
+	h := newHarness(StaticLazy)
+	g2, g3 := in(20, 2), in(30, 3)
+	h.m.RecordSent(h.out(20, 50, 'b'), g2)
+	h.m.RecordSent(h.out(30, 45, 'c'), g3)
+	h.m.OnRollback(in(15, 99))
+	if got := h.m.MinPending(); got != 45 {
+		t.Fatalf("MinPending = %s, want 45", got)
+	}
+	h.m.Drain()
+	if h.m.PendingLen() != 0 || len(h.antis) != 2 {
+		t.Error("Drain must cancel all pending entries")
+	}
+	if got := h.m.MinPending(); got != vtime.PosInf {
+		t.Errorf("MinPending after drain = %s", got)
+	}
+}
+
+func TestManagerFossilCollect(t *testing.T) {
+	h := newHarness(StaticAggressive)
+	for i := 1; i <= 5; i++ {
+		g := in(vtime.Time(10*i), uint64(i))
+		h.m.RecordSent(h.out(vtime.Time(10*i), vtime.Time(10*i+100), byte(i)), g)
+	}
+	// GVT 30: records generated at 10 and 20 are unreachable.
+	n := h.m.FossilCollect(30)
+	if n != 2 || h.m.SentLen() != 3 {
+		t.Errorf("reclaimed %d (sent %d), want 2 (3)", n, h.m.SentLen())
+	}
+	// Remaining records still cancel correctly.
+	h.m.OnRollback(in(35, 99))
+	if len(h.antis) != 2 {
+		t.Errorf("%d antis after rollback, want 2 (events at 40, 50)", len(h.antis))
+	}
+}
+
+func TestManagerInitOutputsNeverCancelled(t *testing.T) {
+	h := newHarness(StaticAggressive)
+	h.m.RecordSent(h.out(0, 5, 'i'), nil) // Init output: gen == nil
+	h.m.RecordSent(h.out(10, 40, 'a'), in(10, 1))
+	h.m.OnRollback(in(5, 99))
+	if len(h.antis) != 1 {
+		t.Fatalf("%d antis, want 1 (Init output must survive)", len(h.antis))
+	}
+	if h.m.SentLen() != 1 {
+		t.Errorf("SentLen = %d, want the Init record retained", h.m.SentLen())
+	}
+}
+
+func TestManagerCrossGenMatch(t *testing.T) {
+	// A pending output from g3 may be regenerated by a different event g2
+	// (the object now sends it earlier); the hit must reattribute it.
+	h := newHarness(StaticLazy)
+	g3 := in(30, 3)
+	orig := h.out(30, 60, 'z')
+	h.m.RecordSent(orig, g3)
+	h.m.OnRollback(in(15, 99))
+
+	g2 := in(20, 2)
+	// Regenerated message must be fully identical (including ordering key)
+	// to count as the same message.
+	regen := &event.Event{
+		SendTime: orig.SendTime, RecvTime: orig.RecvTime,
+		Sender: 1, Receiver: 2, ID: 777, SendSeq: orig.SendSeq,
+		Payload: []byte{'z'},
+	}
+	if h.m.FilterOutput(regen, g2) {
+		t.Fatal("identical message must hit")
+	}
+	// Rolling back past g2 must now cancel the reinstated original.
+	h.m.OnRollback(in(18, 98))
+	if h.m.PendingLen() != 1 {
+		t.Error("reinstated original must be owned by g2 now")
+	}
+}

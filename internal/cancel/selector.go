@@ -1,0 +1,203 @@
+// Package cancel implements Time Warp message cancellation: the output queue
+// bookkeeping shared by all strategies, aggressive and lazy cancellation, and
+// the on-line strategy selection of Section 5 of the paper, described by the
+// control tuple <HR, I, Aggressive, A, P>. The sampled output HR is the Hit
+// Ratio — the fraction of the last n (the filter depth) rollback output
+// comparisons in which the object regenerated a message identical to the one
+// it had sent prematurely — and the transfer function is a dead-zone
+// threshold: switch to lazy when HR rises above the A2L threshold, back to
+// aggressive when it falls below the L2A threshold.
+package cancel
+
+import "gowarp/internal/control"
+
+// Strategy is a cancellation strategy.
+type Strategy int
+
+const (
+	// Aggressive sends anti-messages immediately upon rollback.
+	Aggressive Strategy = iota
+	// Lazy delays anti-messages until forward re-execution shows the
+	// original output was not regenerated.
+	Lazy
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == Lazy {
+		return "lazy"
+	}
+	return "aggressive"
+}
+
+// Mode selects how the strategy is chosen over the run.
+type Mode int
+
+const (
+	// StaticAggressive runs aggressive cancellation throughout (AC).
+	StaticAggressive Mode = iota
+	// StaticLazy runs lazy cancellation throughout (LC).
+	StaticLazy
+	// Dynamic switches per object using the Hit Ratio and the dead-zone
+	// threshold (DC); with A2L == L2A it degenerates to the single
+	// threshold variant (ST).
+	Dynamic
+)
+
+// String names the mode for reports and flags.
+func (m Mode) String() string {
+	switch m {
+	case StaticLazy:
+		return "lazy"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return "aggressive"
+	}
+}
+
+// Config parameterizes a Selector. The zero value, adjusted by defaults,
+// reproduces the paper's DC setting for RAID: filter depth 16, A2L 0.45,
+// L2A 0.2.
+type Config struct {
+	Mode Mode
+	// FilterDepth is n, the number of remembered output comparisons.
+	FilterDepth int
+	// A2LThreshold and L2AThreshold bound the dead zone. Equal values
+	// eliminate the dead zone (the paper's ST variant).
+	A2LThreshold, L2AThreshold float64
+	// Period is the number of comparisons between control invocations.
+	Period int
+	// PermanentAfter, when positive, freezes the strategy after that many
+	// comparisons and stops monitoring (the paper's PS variant).
+	PermanentAfter int
+	// PermanentAggressiveRun, when positive, freezes the strategy to
+	// aggressive after that many consecutive misses and stops monitoring
+	// (the paper's PA variant).
+	PermanentAggressiveRun int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FilterDepth < 1 {
+		c.FilterDepth = 16
+	}
+	if c.A2LThreshold == 0 {
+		c.A2LThreshold = 0.45
+	}
+	if c.L2AThreshold == 0 {
+		c.L2AThreshold = 0.2
+	}
+	if c.Period < 1 {
+		c.Period = 4
+	}
+	return c
+}
+
+// Selector picks the cancellation strategy for one simulation object. The
+// initial state is aggressive, as in the paper.
+type Selector struct {
+	cfg     Config
+	window  *control.BitWindow
+	dz      *control.DeadZone
+	current Strategy
+	frozen  bool
+
+	ticker *control.Ticker
+
+	// Switches counts strategy changes, for the statistics report.
+	Switches int64
+}
+
+// NewSelector returns a selector for the given configuration.
+func NewSelector(cfg Config) *Selector {
+	cfg = cfg.withDefaults()
+	s := &Selector{
+		cfg:    cfg,
+		window: control.NewBitWindow(cfg.FilterDepth),
+		// DeadZone output "high" means lazy. Thresholds map as:
+		// HR > A2L -> lazy, HR < L2A -> aggressive.
+		dz:     control.NewDeadZone(cfg.L2AThreshold, cfg.A2LThreshold, false),
+		ticker: control.NewTicker(cfg.Period),
+	}
+	switch cfg.Mode {
+	case StaticLazy:
+		s.current = Lazy
+		s.frozen = true
+	case StaticAggressive:
+		s.current = Aggressive
+		s.frozen = true
+	default:
+		s.current = Aggressive
+	}
+	return s
+}
+
+// Current returns the strategy in force.
+func (s *Selector) Current() Strategy { return s.current }
+
+// Monitoring reports whether output comparisons should still be recorded.
+// A frozen dynamic selector stops monitoring, which is exactly the saving
+// the paper attributes to the PS and PA variants ("the cost of doing passive
+// comparison is completely avoided"). Static lazy keeps comparing because
+// comparison is inherent to lazy cancellation, but its selector never
+// switches.
+func (s *Selector) Monitoring() bool {
+	return s.cfg.Mode == Dynamic && !s.frozen
+}
+
+// HitRatio returns the current windowed hit ratio.
+func (s *Selector) HitRatio() float64 { return s.window.Ratio() }
+
+// Comparisons returns the lifetime number of recorded comparisons.
+func (s *Selector) Comparisons() int { return s.window.Total() }
+
+// RecordComparison feeds one output comparison outcome (true = hit) and runs
+// the control process on its period. It returns the strategy now in force;
+// a change takes effect at the next rollback.
+func (s *Selector) RecordComparison(hit bool) Strategy {
+	if !s.Monitoring() {
+		return s.current
+	}
+	s.window.Push(hit)
+
+	// PA: a long run of consecutive misses pins the object to aggressive.
+	if r := s.cfg.PermanentAggressiveRun; r > 0 && s.window.FalseRun() >= r {
+		if s.current != Aggressive {
+			s.current = Aggressive
+			s.Switches++
+		}
+		s.frozen = true
+		return s.current
+	}
+	// PS: after enough evidence, pin whatever the threshold function says.
+	if n := s.cfg.PermanentAfter; n > 0 && s.window.Total() >= n {
+		s.decide()
+		s.frozen = true
+		return s.current
+	}
+	if s.ticker.Tick() {
+		s.decide()
+	}
+	return s.current
+}
+
+// Override freezes the selector on the given strategy, regardless of mode —
+// the hook used by external runtime adjustment. The object stops monitoring.
+func (s *Selector) Override(strat Strategy) {
+	if s.current != strat {
+		s.current = strat
+		s.Switches++
+	}
+	s.frozen = true
+}
+
+func (s *Selector) decide() {
+	want := Aggressive
+	if s.dz.Input(s.window.Ratio()) {
+		want = Lazy
+	}
+	if want != s.current {
+		s.current = want
+		s.Switches++
+	}
+}

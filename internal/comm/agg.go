@@ -1,0 +1,165 @@
+package comm
+
+import (
+	"time"
+)
+
+// Policy selects the message aggregation policy.
+type Policy int
+
+const (
+	// NoAggregation transmits every event as its own physical message.
+	NoAggregation Policy = iota
+	// FAW (Fixed Aggregation Window) holds an aggregate open until the age
+	// of its first event reaches a fixed window, then sends it.
+	FAW
+	// SAAW (Simple Adaptive Aggregation Window) starts from the same
+	// window but adapts it after every aggregate using the age-modified
+	// reception rate: the window grows while the modified rate improves
+	// (bursty traffic — more aggregation pays) and shrinks when it
+	// degrades (messages are being delayed for too little gain).
+	SAAW
+)
+
+// String names the policy for reports and flags.
+func (p Policy) String() string {
+	switch p {
+	case FAW:
+		return "faw"
+	case SAAW:
+		return "saaw"
+	default:
+		return "none"
+	}
+}
+
+// AggConfig parameterizes the aggregation layer. The control tuple for SAAW
+// is <R(age), W, Winitial, SAAW, everyAggregate>: the window W is adapted as
+// each aggregate is sent.
+type AggConfig struct {
+	Policy Policy
+	// Window is the FAW window, or SAAW's initial window.
+	Window time.Duration
+	// MinWindow and MaxWindow clamp SAAW's adaptation.
+	MinWindow, MaxWindow time.Duration
+	// TargetBatch is SAAW's equilibrium aggregate size: the adapted window
+	// is the time expected to collect this many events at the observed
+	// arrival rate.
+	TargetBatch float64
+	// RateAlpha is the EWMA weight for SAAW's arrival-rate estimate.
+	RateAlpha float64
+	// MaxEvents flushes an aggregate that has collected this many events
+	// regardless of age (a capacity safety valve; 0 means 256).
+	MaxEvents int
+	// MaxBytes flushes on accumulated payload size (0 means 64 KiB).
+	MaxBytes int
+}
+
+func (c AggConfig) withDefaults() AggConfig {
+	if c.Window <= 0 {
+		c.Window = 100 * time.Microsecond
+	}
+	if c.MinWindow <= 0 {
+		c.MinWindow = time.Microsecond
+	}
+	if c.MaxWindow <= 0 {
+		// SAAW's rate targeting has no view of the harm side of the
+		// trade-off (a starved receiver stalls silently), so the window is
+		// capped by default at a timescale well below the GVT cadence —
+		// past that, delaying messages stalls receivers for more than any
+		// aggregation gain. Raise it for coarser-grained simulations.
+		c.MaxWindow = time.Millisecond
+	}
+	if c.TargetBatch <= 0 {
+		c.TargetBatch = 4
+	}
+	if c.RateAlpha <= 0 || c.RateAlpha > 1 {
+		c.RateAlpha = 0.25
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 256
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 64 << 10
+	}
+	return c
+}
+
+// FlushCause says why an aggregate was transmitted, for the statistics.
+type FlushCause int
+
+const (
+	// FlushWindow: the aggregate's age reached the window.
+	FlushWindow FlushCause = iota
+	// FlushCapacity: the aggregate hit the event- or byte-count cap.
+	FlushCapacity
+	// FlushUrgent: an urgent message (anti-message, control traffic)
+	// forced the buffer out.
+	FlushUrgent
+	// FlushIdle: the LP went idle or handled a GVT token; buffers are
+	// flushed so GVT progress never waits on a partially filled window.
+	FlushIdle
+)
+
+// rateEstMin is the shortest observation span a SAAW rate sample may cover;
+// shorter spans are accumulated into the next sample so that a single urgent
+// flush of a one-event aggregate cannot poison the estimate.
+const rateEstMin = 2 * time.Millisecond
+
+// aggBuffer is the per-destination aggregate under construction.
+type aggBuffer struct {
+	payload []byte
+	count   int
+	first   time.Time // wall-clock arrival of the first buffered event
+	color   uint8     // GVT color of the buffered events (uniform; see Endpoint)
+
+	// SAAW state. The destination's event arrival rate R(age) is estimated
+	// over observation spans of at least rateEstMin — counting every event
+	// regardless of what eventually flushes it — and smoothed with an
+	// EWMA; the window is then the time expected to collect TargetBatch
+	// events at that rate. This realizes the paper's control tuple
+	// <R(age), W, Winitial, SAAW, everyAggregate>: bursty traffic (high
+	// observed rate) opens the window to exploit the aggregation-optimism
+	// factor; sparse traffic closes it so messages are not delayed for too
+	// little gain, and the window converges toward the optimum from any
+	// initial value.
+	window    time.Duration
+	spanStart time.Time
+	spanCount int
+	rateEst   float64
+	primed    bool
+}
+
+// adapt applies SAAW's transfer function when an aggregate is sent. now is
+// the flush time. It reports whether the window changed.
+func (b *aggBuffer) adapt(cfg AggConfig, now time.Time) bool {
+	if b.spanStart.IsZero() {
+		b.spanStart = now
+		b.spanCount = 0
+		return false
+	}
+	elapsed := now.Sub(b.spanStart)
+	if elapsed < rateEstMin {
+		return false // keep accumulating this observation span
+	}
+	r := float64(b.spanCount) / elapsed.Seconds()
+	b.spanStart = now
+	b.spanCount = 0
+	if !b.primed {
+		b.primed = true
+		b.rateEst = r
+	} else {
+		b.rateEst += cfg.RateAlpha * (r - b.rateEst)
+	}
+	old := b.window
+	if b.rateEst > 0 {
+		b.window = time.Duration(cfg.TargetBatch / b.rateEst * float64(time.Second))
+	}
+	if b.window < cfg.MinWindow {
+		b.window = cfg.MinWindow
+	}
+	if b.window > cfg.MaxWindow {
+		b.window = cfg.MaxWindow
+	}
+	return b.window != old
+}

@@ -1,0 +1,234 @@
+package comm
+
+import (
+	"time"
+
+	"gowarp/internal/event"
+	"gowarp/internal/stats"
+	"gowarp/internal/vtime"
+)
+
+// Endpoint is one logical process's attachment to the network. It owns the
+// per-destination aggregation buffers and the GVT message-color accounting.
+// All methods must be called from the owning LP goroutine only.
+type Endpoint struct {
+	lp  int
+	net *Network
+	cfg AggConfig
+	st  *stats.Counters
+
+	bufs []aggBuffer // indexed by destination LP
+
+	// GVT accounting (see internal/gvt): logical events are counted at the
+	// moment they enter the aggregation layer and when they are decoded at
+	// the receiver, so events parked in an unsent aggregate register as
+	// in-transit and GVT can never slip past them.
+	color uint8
+	sent  [2]int64
+	recv  [2]int64
+	tmin  vtime.Time // min receive time of events sent under the current color
+}
+
+// NewEndpoint attaches lp to the network with the given aggregation
+// configuration, accounting into st.
+func (n *Network) NewEndpoint(lp int, cfg AggConfig, st *stats.Counters) *Endpoint {
+	cfg = cfg.withDefaults()
+	e := &Endpoint{
+		lp:   lp,
+		net:  n,
+		cfg:  cfg,
+		st:   st,
+		bufs: make([]aggBuffer, n.NumLPs()),
+		tmin: vtime.PosInf,
+	}
+	for i := range e.bufs {
+		e.bufs[i].window = cfg.Window
+	}
+	return e
+}
+
+// Inbox returns this LP's receive channel.
+func (e *Endpoint) Inbox() <-chan Packet { return e.net.Inbox(e.lp) }
+
+// Color returns the LP's current GVT color.
+func (e *Endpoint) Color() uint8 { return e.color }
+
+// FlipColor flushes all aggregation buffers (so every packet carries a
+// uniform, pre-flip color) and switches to c, resetting the red minimum.
+func (e *Endpoint) FlipColor(c uint8) {
+	e.FlushAll(FlushIdle)
+	e.color = c
+	e.tmin = vtime.PosInf
+}
+
+// Counts returns the logical events sent and received under color c.
+func (e *Endpoint) Counts(c uint8) (sent, recv int64) {
+	return e.sent[c&1], e.recv[c&1]
+}
+
+// TMin returns the minimum receive time among events sent under the current
+// color since the last flip (the "red message minimum" of the GVT protocol).
+func (e *Endpoint) TMin() vtime.Time { return e.tmin }
+
+// Send hands one event to the aggregation layer for delivery to dstLP.
+// Urgent events (anti-messages) force the buffer out immediately so
+// cancellation is never delayed behind an aggregation window.
+func (e *Endpoint) Send(ev *event.Event, dstLP int, urgent bool) {
+	e.sent[e.color]++
+	e.tmin = vtime.Min(e.tmin, ev.RecvTime)
+	e.st.EventMsgsSent++
+
+	b := &e.bufs[dstLP]
+	if b.count == 0 {
+		b.first = time.Now()
+		b.color = e.color
+	}
+	b.payload = ev.Encode(b.payload)
+	b.count++
+	if e.cfg.Policy == SAAW {
+		b.spanCount++
+	}
+
+	switch {
+	case urgent:
+		e.flush(dstLP, FlushUrgent)
+	case e.cfg.Policy == NoAggregation:
+		e.flush(dstLP, FlushWindow)
+	case b.count >= e.cfg.MaxEvents || len(b.payload) >= e.cfg.MaxBytes:
+		e.flush(dstLP, FlushCapacity)
+	}
+}
+
+// Poll flushes buffers whose aggregate age has reached the window. The LP
+// calls it once per scheduling loop iteration; now is passed in so one clock
+// read serves all destinations.
+func (e *Endpoint) Poll(now time.Time) {
+	if e.cfg.Policy == NoAggregation {
+		return
+	}
+	for dst := range e.bufs {
+		b := &e.bufs[dst]
+		if b.count > 0 && now.Sub(b.first) >= b.window {
+			e.flush(dst, FlushWindow)
+		}
+	}
+}
+
+// NextDeadline returns the earliest wall-clock instant at which a pending
+// aggregate's window expires, so an idle LP can bound its wait. ok is false
+// when no aggregate is pending.
+func (e *Endpoint) NextDeadline() (t time.Time, ok bool) {
+	for dst := range e.bufs {
+		b := &e.bufs[dst]
+		if b.count == 0 {
+			continue
+		}
+		d := b.first.Add(b.window)
+		if !ok || d.Before(t) {
+			t, ok = d, true
+		}
+	}
+	return t, ok
+}
+
+// FlushAll transmits every non-empty buffer with the given cause.
+func (e *Endpoint) FlushAll(cause FlushCause) {
+	for dst := range e.bufs {
+		if e.bufs[dst].count > 0 {
+			e.flush(dst, cause)
+		}
+	}
+}
+
+func (e *Endpoint) flush(dst int, cause FlushCause) {
+	b := &e.bufs[dst]
+	if b.count == 0 {
+		return
+	}
+	count, payload := b.count, b.payload
+
+	e.st.PhysicalMsgsSent++
+	e.st.BytesSent += int64(len(payload))
+	if count > 1 {
+		e.st.AggregatedEvents += int64(count)
+	}
+	switch cause {
+	case FlushWindow:
+		e.st.FlushWindow++
+	case FlushCapacity:
+		e.st.FlushCapacity++
+	case FlushUrgent:
+		e.st.FlushUrgent++
+	case FlushIdle:
+		e.st.FlushIdle++
+	}
+
+	e.net.deliver(dst, Packet{
+		Kind:    PktEvents,
+		From:    e.lp,
+		Color:   b.color,
+		Count:   count,
+		Payload: payload,
+	}, len(payload))
+
+	b.payload = nil // the receiver owns the slice now
+	b.count = 0
+	if e.cfg.Policy == SAAW {
+		// The paper's P component is "everyAggregate": adapt whenever an
+		// aggregate goes out, whatever closed it.
+		if b.adapt(e.cfg, time.Now()) {
+			e.st.WindowAdjustments++
+		}
+	}
+}
+
+// Window returns destination dst's current aggregation window (for tests and
+// reports on SAAW convergence).
+func (e *Endpoint) Window(dst int) time.Duration { return e.bufs[dst].window }
+
+// DecodeEvents unpacks an events packet, updating the receive-side GVT
+// counters. The returned events alias the packet payload.
+func (e *Endpoint) DecodeEvents(p Packet) ([]*event.Event, error) {
+	evs := make([]*event.Event, 0, p.Count)
+	buf := p.Payload
+	for len(buf) > 0 {
+		ev, rest, err := event.Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		evs = append(evs, ev)
+		buf = rest
+	}
+	e.recv[p.Color&1] += int64(len(evs))
+	return evs, nil
+}
+
+// SendNull sends a CMB null message promising no event below bound.
+func (e *Endpoint) SendNull(dst int, bound vtime.Time) {
+	e.net.deliver(dst, Packet{Kind: PktNull, From: e.lp, Bound: bound}, controlBytes)
+}
+
+// SendToken forwards the GVT token to dst.
+func (e *Endpoint) SendToken(dst int, t Token) {
+	e.net.deliver(dst, Packet{Kind: PktToken, From: e.lp, Token: t}, controlBytes)
+}
+
+// BroadcastGVT announces a new GVT value to every other LP.
+func (e *Endpoint) BroadcastGVT(gvt vtime.Time) {
+	for dst := range e.bufs {
+		if dst == e.lp {
+			continue
+		}
+		e.net.deliver(dst, Packet{Kind: PktGVT, From: e.lp, GVT: gvt}, controlBytes)
+	}
+}
+
+// BroadcastStop tells every other LP to terminate.
+func (e *Endpoint) BroadcastStop() {
+	for dst := range e.bufs {
+		if dst == e.lp {
+			continue
+		}
+		e.net.deliver(dst, Packet{Kind: PktStop, From: e.lp}, controlBytes)
+	}
+}

@@ -1,0 +1,96 @@
+package comm
+
+import (
+	"gowarp/internal/vtime"
+)
+
+// PacketKind discriminates physical message types.
+type PacketKind uint8
+
+const (
+	// PktEvents carries one or more encoded application events.
+	PktEvents PacketKind = iota
+	// PktToken carries the circulating GVT token.
+	PktToken
+	// PktGVT broadcasts a newly computed GVT value.
+	PktGVT
+	// PktStop tells a logical process to terminate.
+	PktStop
+	// PktNull is a conservative-kernel (Chandy-Misra-Bryant) null message:
+	// a promise that the sender will emit no event below Bound.
+	PktNull
+)
+
+// Token is the Mattern-style GVT token (see internal/gvt for the protocol).
+type Token struct {
+	// M is the minimum of the local virtual-time minima of the LPs visited
+	// in the current round.
+	M vtime.Time
+	// MMsg is the minimum receive time of red messages sent so far in this
+	// computation.
+	MMsg vtime.Time
+	// Count is the running sum of (white messages sent − white messages
+	// received) over the LPs visited this round; zero at the initiator
+	// after a full round means no white message is still in transit.
+	Count int64
+	// Round counts full circulations within one computation.
+	Round int
+	// Epoch numbers the GVT computation; Epoch's low bit is the color that
+	// LPs flip to ("red") during this computation.
+	Epoch uint64
+}
+
+// Packet is one physical message on the simulated network.
+type Packet struct {
+	Kind PacketKind
+	From int // sending LP
+	// Color is the GVT color the events in Payload were sent under
+	// (PktEvents only; uniform within one packet by construction).
+	Color uint8
+	// Count is the number of events encoded in Payload.
+	Count   int
+	Payload []byte
+	Token   Token
+	GVT     vtime.Time
+	// Bound is a null message's lower bound on the sender's future events.
+	Bound vtime.Time
+}
+
+// controlBytes approximates the wire size of a control packet for the cost
+// model.
+const controlBytes = 32
+
+// Network connects n logical processes with buffered inboxes and a shared
+// cost model. It is created once per simulation run; endpoints are handed to
+// the LP goroutines.
+type Network struct {
+	cost    CostModel
+	inboxes []chan Packet
+}
+
+// NewNetwork returns a network for n LPs with the given per-inbox depth
+// (minimum 1024).
+func NewNetwork(n int, cost CostModel, inboxDepth int) *Network {
+	if inboxDepth < 1024 {
+		inboxDepth = 1024
+	}
+	nw := &Network{cost: cost, inboxes: make([]chan Packet, n)}
+	for i := range nw.inboxes {
+		nw.inboxes[i] = make(chan Packet, inboxDepth)
+	}
+	return nw
+}
+
+// NumLPs returns the number of connected logical processes.
+func (n *Network) NumLPs() int { return len(n.inboxes) }
+
+// Inbox returns lp's receive channel.
+func (n *Network) Inbox(lp int) <-chan Packet { return n.inboxes[lp] }
+
+// deliver charges the sending cost and enqueues the packet. The charge is
+// burned on the calling goroutine — the sender pays, as in the modelled
+// protocol stacks.
+func (n *Network) deliver(to int, p Packet, payloadBytes int) {
+	n.cost.Charge(payloadBytes)
+	n.inboxes[to] <- p
+}

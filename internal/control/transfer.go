@@ -1,0 +1,103 @@
+package control
+
+// This file provides the T component of the control tuple for integer-valued
+// parameters: transfer functions that nudge a parameter up or down in
+// response to a sampled scalar cost, assuming (as Section 4 of the paper
+// does) that the cost is a single-minimum function of the parameter.
+
+// IntParam is an integer parameter under configuration, clamped to
+// [Min, Max] and adjusted in units of Step.
+type IntParam struct {
+	Value, Min, Max, Step int
+}
+
+// Inc raises the parameter by one step, saturating at Max.
+func (p *IntParam) Inc() {
+	p.Value += p.Step
+	if p.Value > p.Max {
+		p.Value = p.Max
+	}
+}
+
+// Dec lowers the parameter by one step, saturating at Min.
+func (p *IntParam) Dec() {
+	p.Value -= p.Step
+	if p.Value < p.Min {
+		p.Value = p.Min
+	}
+}
+
+// CostTransfer maps an observed cost sample to an adjustment of an IntParam.
+// Implementations are the paper's simple heuristic and a directional hill
+// climber kept for comparison.
+type CostTransfer interface {
+	// Observe feeds the cost measured since the previous invocation and
+	// adjusts the parameter in place.
+	Observe(cost float64, p *IntParam)
+}
+
+// IncUnlessWorse is the transfer function the paper uses for the checkpoint
+// interval: "at every control invocation, if Ec is not observed to have
+// increased significantly, the check-pointing period is incremented;
+// otherwise, it is decremented." Significance is a relative margin, so tiny
+// cost jitter does not reverse the parameter.
+type IncUnlessWorse struct {
+	// Margin is the relative increase in cost considered significant
+	// (e.g. 0.05 = 5%).
+	Margin float64
+	prev   float64
+	primed bool
+}
+
+// Observe implements CostTransfer.
+func (t *IncUnlessWorse) Observe(cost float64, p *IntParam) {
+	if !t.primed {
+		t.primed = true
+		t.prev = cost
+		p.Inc()
+		return
+	}
+	if cost > t.prev*(1+t.Margin) {
+		p.Dec()
+	} else {
+		p.Inc()
+	}
+	t.prev = cost
+}
+
+// DirectionalClimb is the classic hill-descending alternative (in the spirit
+// of Fleischmann & Wilsey, PADS'95): keep moving the parameter in the current
+// direction while the cost improves, reverse direction when it worsens
+// significantly. It is included so the simple heuristic's adequacy is a
+// measured claim (see the ablation benchmarks), mirroring the paper's remark
+// that its simple heuristic outperformed more rigorous techniques.
+type DirectionalClimb struct {
+	// Margin is the relative increase in cost considered a worsening.
+	Margin float64
+	dir    int // +1 or -1
+	prev   float64
+	primed bool
+}
+
+// Observe implements CostTransfer.
+func (t *DirectionalClimb) Observe(cost float64, p *IntParam) {
+	if t.dir == 0 {
+		t.dir = 1
+	}
+	if !t.primed {
+		t.primed = true
+	} else if cost > t.prev*(1+t.Margin) {
+		t.dir = -t.dir
+	}
+	t.prev = cost
+	// Bounce off the clamps: pinned at a boundary the cost never worsens,
+	// so without this the climber would stay pinned forever.
+	if (t.dir > 0 && p.Value >= p.Max) || (t.dir < 0 && p.Value <= p.Min) {
+		t.dir = -t.dir
+	}
+	if t.dir > 0 {
+		p.Inc()
+	} else {
+		p.Dec()
+	}
+}

@@ -1,0 +1,111 @@
+// Package core is the Time Warp simulation kernel: optimistically
+// synchronized logical processes (one goroutine each) hosting simulation
+// objects with the three history queues of Figure 1 of the paper (input,
+// output, state), straggler detection and rollback with coast forward,
+// aggressive/lazy/dynamic cancellation, periodic and dynamic check-pointing,
+// dynamic message aggregation, Mattern-style GVT and fossil collection.
+//
+// A sequential reference kernel (RunSequential) executes the same models in
+// strict timestamp order; tests validate the parallel kernel against it.
+package core
+
+import (
+	"time"
+
+	"gowarp/internal/cancel"
+	"gowarp/internal/comm"
+	"gowarp/internal/model"
+	"gowarp/internal/pq"
+	"gowarp/internal/statesave"
+	"gowarp/internal/stats"
+	"gowarp/internal/vtime"
+)
+
+// Config is the simulator configuration of the paper's terminology: the
+// choice of sub-algorithms for each kernel facet plus their parameters.
+type Config struct {
+	// EndTime is the virtual time at which the simulation stops; events
+	// with later receive times are never executed.
+	EndTime vtime.Time
+
+	// Checkpoint configures state saving (Section 4).
+	Checkpoint statesave.Config
+	// Cancellation configures cancellation-strategy selection (Section 5).
+	Cancellation cancel.Config
+	// Aggregation configures dynamic message aggregation (Section 6).
+	Aggregation comm.AggConfig
+	// Cost is the simulated communication cost model.
+	Cost comm.CostModel
+
+	// EventCost is the CPU burn charged per event execution, standing in
+	// for the paper's event-handler granularity. Zero means no burn.
+	EventCost time.Duration
+
+	// OptimismWindow, when positive, bounds optimism: an LP never executes
+	// an event more than this much virtual time past the last known GVT
+	// (the bounded-time-window throttle of Palaniswamy & Wilsey, cited as
+	// prior adaptive work in the paper's introduction). Zero leaves
+	// optimism unbounded, Jefferson-style.
+	OptimismWindow vtime.Time
+
+	// GVTPeriod is the wall-clock interval between GVT computations.
+	GVTPeriod time.Duration
+	// PendingSet selects the pending-event-set implementation.
+	PendingSet pq.Kind
+	// InboxDepth is the per-LP physical-message inbox capacity.
+	InboxDepth int
+	// Timeline records per-LP adaptation samples at every GVT cycle (see
+	// Sample); costs a small allocation per cycle.
+	Timeline bool
+	// Tuner, when non-nil, allows external adjustment of the running
+	// simulation's parameters; LPs apply pending changes at each GVT.
+	Tuner *Tuner
+}
+
+// DefaultConfig returns a configuration matching the paper's all-static
+// baseline: periodic check-pointing, aggressive cancellation, no
+// aggregation, and zero synthetic CPU costs (the benchmarks set realistic
+// ones).
+func DefaultConfig(endTime vtime.Time) Config {
+	return Config{
+		EndTime:      endTime,
+		Checkpoint:   statesave.Config{Mode: statesave.Periodic, Interval: 4},
+		Cancellation: cancel.Config{Mode: cancel.StaticAggressive},
+		Aggregation:  comm.AggConfig{Policy: comm.NoAggregation},
+		GVTPeriod:    time.Millisecond,
+		PendingSet:   pq.Heap,
+		InboxDepth:   1 << 14,
+	}
+}
+
+// Result is what a simulation run produces.
+type Result struct {
+	// Stats is the merged tally across logical processes.
+	Stats stats.Counters
+	// PerLP holds each logical process's own tally.
+	PerLP []stats.Counters
+	// PerObject records per-object observations (rollbacks, final hit
+	// ratio, final strategy, final checkpoint interval).
+	PerObject []stats.PerObject
+	// GVT is the final Global Virtual Time (vtime.PosInf when the model
+	// drained before EndTime).
+	GVT vtime.Time
+	// Elapsed is the wall-clock duration of the parallel phase.
+	Elapsed time.Duration
+	// FinalStates holds every object's committed final state, indexed by
+	// ObjectID; used for cross-kernel determinism checks.
+	FinalStates []model.State
+	// Timeline holds per-LP adaptation samples (only when Config.Timeline
+	// was set).
+	Timeline []LPTimeline
+}
+
+// EventRate returns committed events per second of wall-clock time — the
+// headline throughput metric of Section 8.
+func (r *Result) EventRate() float64 {
+	s := r.Elapsed.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Stats.EventsCommitted) / s
+}

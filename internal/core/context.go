@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"gowarp/internal/event"
+	"gowarp/internal/vtime"
+)
+
+// execContext implements model.Context for one Execute or Init invocation.
+// cur is nil during Init.
+type execContext struct {
+	o   *simObject
+	cur *event.Event
+}
+
+// Self returns the executing object's ID.
+func (c *execContext) Self() event.ObjectID { return c.o.id }
+
+// Now returns the receive time of the executing event, or vtime.Zero during
+// Init.
+func (c *execContext) Now() vtime.Time {
+	if c.cur == nil {
+		return vtime.Zero
+	}
+	return c.cur.RecvTime
+}
+
+// EndTime returns the simulation end time.
+func (c *execContext) EndTime() vtime.Time { return c.o.lp.cfg.EndTime }
+
+// Send schedules an event at Now()+delay for the object named to. Outputs
+// are suppressed during coast forward (they were already correctly sent
+// before the rollback) and filtered through the cancellation manager, which
+// withholds transmission on a lazy hit.
+func (c *execContext) Send(to event.ObjectID, delay vtime.Time, kind uint32, payload []byte) {
+	o := c.o
+	if delay < 0 {
+		panic(fmt.Sprintf("core: object %d sent an event into its own past (delay %s)", o.id, delay))
+	}
+	if int(to) < 0 || int(to) >= len(o.lp.k.lpOf) {
+		panic(fmt.Sprintf("core: object %d sent to unknown object %d", o.id, to))
+	}
+	now := c.Now()
+	// The (sendVT, sendSeq) counter advances identically during coast
+	// forward, so re-executed sends reproduce their ordering keys.
+	if now != o.sendVT {
+		o.sendVT = now
+		o.sendSeq = 0
+	}
+	ev := &event.Event{
+		SendTime: now,
+		RecvTime: now.Add(delay),
+		Sender:   o.id,
+		Receiver: to,
+		ID:       o.seq,
+		SendSeq:  o.sendSeq,
+		Kind:     kind,
+		Payload:  payload,
+	}
+	o.seq++
+	o.sendSeq++
+	if o.coasting {
+		return
+	}
+	if !o.out.FilterOutput(ev, c.cur) {
+		return // lazy hit: the prematurely sent original stands
+	}
+	o.out.RecordSent(ev, c.cur)
+	o.lp.route(ev, false)
+}

@@ -1,0 +1,209 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"gowarp/internal/apps/phold"
+	"gowarp/internal/cancel"
+	"gowarp/internal/comm"
+	"gowarp/internal/core"
+	"gowarp/internal/model"
+	"gowarp/internal/pq"
+	"gowarp/internal/statesave"
+	"gowarp/internal/vtime"
+)
+
+// testConfig returns the common test configuration: fast GVT and a bounded
+// optimism window so rollback storms do not dominate wall-clock time.
+func testConfig(end vtime.Time) core.Config {
+	cfg := core.DefaultConfig(end)
+	cfg.GVTPeriod = 200 * time.Microsecond
+	cfg.OptimismWindow = 100
+	return cfg
+}
+
+// testModel returns a moderately contentious PHOLD instance: 16 objects on
+// 4 LPs, 3 tokens each, low locality so inter-LP traffic (and therefore
+// rollback pressure) is high.
+func testModel(seed uint64) *model.Model {
+	return phold.New(phold.Config{
+		Objects:         16,
+		TokensPerObject: 3,
+		MeanDelay:       10,
+		Locality:        0.2,
+		LPs:             4,
+		Seed:            seed,
+	})
+}
+
+// assertMatchesSequential runs m under cfg on the parallel kernel and checks
+// it commits exactly the events the sequential reference kernel executes and
+// reaches identical final states.
+func assertMatchesSequential(t *testing.T, m *model.Model, cfg core.Config) {
+	t.Helper()
+	seq, err := core.RunSequential(m, cfg.EndTime, 0)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	par, err := core.Run(m, cfg)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if par.Stats.EventsCommitted != seq.EventsExecuted {
+		t.Errorf("committed events: parallel %d, sequential %d",
+			par.Stats.EventsCommitted, seq.EventsExecuted)
+	}
+	for i := range seq.FinalStates {
+		if !reflect.DeepEqual(par.FinalStates[i], seq.FinalStates[i]) {
+			t.Errorf("object %d: final states differ\nparallel:   %+v\nsequential: %+v",
+				i, par.FinalStates[i], seq.FinalStates[i])
+			break
+		}
+	}
+	if par.Stats.EventsProcessed < par.Stats.EventsCommitted {
+		t.Errorf("processed %d < committed %d",
+			par.Stats.EventsProcessed, par.Stats.EventsCommitted)
+	}
+}
+
+func TestParallelMatchesSequentialBaseline(t *testing.T) {
+	assertMatchesSequential(t, testModel(1), testConfig(2000))
+}
+
+func TestParallelMatchesSequentialAcrossConfigs(t *testing.T) {
+	type variant struct {
+		name string
+		mut  func(*core.Config)
+	}
+	variants := []variant{
+		{"lazy", func(c *core.Config) {
+			c.Cancellation = cancel.Config{Mode: cancel.StaticLazy}
+		}},
+		{"dynamic-cancel", func(c *core.Config) {
+			c.Cancellation = cancel.Config{Mode: cancel.Dynamic, FilterDepth: 8, Period: 2}
+		}},
+		{"dynamic-checkpoint", func(c *core.Config) {
+			c.Checkpoint = statesave.Config{Mode: statesave.Dynamic, Interval: 2, Period: 64}
+		}},
+		{"checkpoint-every-event", func(c *core.Config) {
+			c.Checkpoint = statesave.Config{Mode: statesave.Periodic, Interval: 1}
+		}},
+		{"checkpoint-sparse", func(c *core.Config) {
+			c.Checkpoint = statesave.Config{Mode: statesave.Periodic, Interval: 16}
+		}},
+		{"faw", func(c *core.Config) {
+			c.Aggregation = comm.AggConfig{Policy: comm.FAW, Window: 50 * time.Microsecond}
+		}},
+		{"saaw", func(c *core.Config) {
+			c.Aggregation = comm.AggConfig{Policy: comm.SAAW, Window: 50 * time.Microsecond}
+		}},
+		{"splay", func(c *core.Config) { c.PendingSet = pq.Splay }},
+		{"calendar", func(c *core.Config) { c.PendingSet = pq.Calendar }},
+		{"lazy-faw-dynamic-ckpt", func(c *core.Config) {
+			c.Cancellation = cancel.Config{Mode: cancel.StaticLazy}
+			c.Aggregation = comm.AggConfig{Policy: comm.FAW, Window: 30 * time.Microsecond}
+			c.Checkpoint = statesave.Config{Mode: statesave.Dynamic, Interval: 4, Period: 32}
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := testConfig(1500)
+			v.mut(&cfg)
+			assertMatchesSequential(t, testModel(7), cfg)
+		})
+	}
+}
+
+func TestParallelMatchesSequentialManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep skipped in -short mode")
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := testConfig(1000)
+			cfg.Cancellation = cancel.Config{Mode: cancel.Dynamic, FilterDepth: 8, Period: 2}
+			cfg.Checkpoint = statesave.Config{Mode: statesave.Dynamic, Interval: 3, Period: 64}
+			assertMatchesSequential(t, testModel(seed), cfg)
+		})
+	}
+}
+
+func TestModelDrainsBeforeEndTime(t *testing.T) {
+	// A model whose events end early: PHOLD always regenerates, so instead
+	// run to a huge end time is not drain; use a tiny token population and
+	// end time far beyond any rollback horizon to exercise the idle /
+	// GVT=+inf path: PHOLD never drains, so bound it with a small end time
+	// and check termination instead.
+	cfg := testConfig(50)
+	m := testModel(3)
+	res, err := core.Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GVT.Before(cfg.EndTime) {
+		t.Errorf("terminated with GVT %s before end time %s", res.GVT, cfg.EndTime)
+	}
+}
+
+func TestSingleLP(t *testing.T) {
+	m := phold.New(phold.Config{Objects: 4, TokensPerObject: 2, MeanDelay: 5, LPs: 1, Seed: 11})
+	cfg := core.DefaultConfig(500)
+	assertMatchesSequential(t, m, cfg)
+}
+
+func TestResultAccounting(t *testing.T) {
+	cfg := testConfig(800)
+	m := testModel(5)
+	res, err := core.Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EventsCommitted == 0 {
+		t.Fatal("no events committed")
+	}
+	if got := len(res.PerObject); got != 16 {
+		t.Errorf("PerObject entries = %d, want 16", got)
+	}
+	if got := len(res.PerLP); got != 4 {
+		t.Errorf("PerLP entries = %d, want 4", got)
+	}
+	var sum int64
+	for i := range res.PerLP {
+		sum += res.PerLP[i].EventsCommitted
+	}
+	if sum != res.Stats.EventsCommitted {
+		t.Errorf("per-LP commit sum %d != merged %d", sum, res.Stats.EventsCommitted)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("non-positive elapsed time")
+	}
+	if res.EventRate() <= 0 {
+		t.Error("non-positive event rate")
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	m := testModel(1)
+	if _, err := core.Run(m, core.Config{}); err == nil {
+		t.Error("Run accepted a zero end time")
+	}
+	if _, err := core.RunSequential(m, 0, 0); err == nil {
+		t.Error("RunSequential accepted a zero end time")
+	}
+	bad := &model.Model{Objects: m.Objects, Partition: m.Partition[:3]}
+	if _, err := core.Run(bad, core.DefaultConfig(100)); err == nil {
+		t.Error("Run accepted a mis-sized partition")
+	}
+}
+
+// TestUnboundedOptimism checks correctness without the optimism window
+// (pure Jefferson-style Time Warp) on a smaller horizon.
+func TestUnboundedOptimism(t *testing.T) {
+	cfg := testConfig(400)
+	cfg.OptimismWindow = 0
+	assertMatchesSequential(t, testModel(2), cfg)
+}

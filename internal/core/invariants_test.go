@@ -1,0 +1,186 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"gowarp/internal/apps/phold"
+	"gowarp/internal/cancel"
+	"gowarp/internal/core"
+	"gowarp/internal/statesave"
+)
+
+// TestStatsInvariants runs a contentious configuration and checks the
+// arithmetic relationships the counters must satisfy.
+func TestStatsInvariants(t *testing.T) {
+	cfg := testConfig(3000)
+	cfg.Cancellation = cancel.Config{Mode: cancel.Dynamic, FilterDepth: 8, Period: 2}
+	cfg.Checkpoint = statesave.Config{Mode: statesave.Dynamic, Interval: 2, Period: 64}
+	res, err := core.Run(testModel(13), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &res.Stats
+
+	if s.EventsCommitted > s.EventsProcessed {
+		t.Errorf("committed %d > processed %d", s.EventsCommitted, s.EventsProcessed)
+	}
+	if s.EventsRolledBack != s.RollbackLength {
+		t.Errorf("rolled back %d != accumulated rollback length %d",
+			s.EventsRolledBack, s.RollbackLength)
+	}
+	if s.Rollbacks != s.Stragglers+s.AntiStragglers {
+		t.Errorf("rollbacks %d != stragglers %d + anti-stragglers %d",
+			s.Rollbacks, s.Stragglers, s.AntiStragglers)
+	}
+	// Every processed event is either committed or was rolled back (no
+	// third fate at termination: processed = committed + rolledBack).
+	if s.EventsProcessed != s.EventsCommitted+s.EventsRolledBack {
+		t.Errorf("processed %d != committed %d + rolled back %d",
+			s.EventsProcessed, s.EventsCommitted, s.EventsRolledBack)
+	}
+	if s.Rollbacks > 0 && s.StatesSaved == 0 {
+		t.Error("rollbacks occurred but no states were ever saved")
+	}
+	if s.GVTCycles == 0 {
+		t.Error("no GVT cycles completed")
+	}
+	if eff := s.Efficiency(); eff <= 0 || eff > 1 {
+		t.Errorf("efficiency %f out of (0,1]", eff)
+	}
+}
+
+// TestFossilCollectionReclaims checks that history is actually reclaimed
+// while the simulation runs, not just at the end — the memory-boundedness
+// GVT exists for.
+func TestFossilCollectionReclaims(t *testing.T) {
+	cfg := testConfig(20_000)
+	cfg.GVTPeriod = 300 * time.Microsecond
+	res, err := core.Run(testModel(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FossilCollected == 0 {
+		t.Fatal("nothing fossil-collected over a long run")
+	}
+	// Reclamation must be the same order of magnitude as history creation.
+	if res.Stats.FossilCollected < res.Stats.EventsCommitted/2 {
+		t.Errorf("fossils %d lag far behind committed %d",
+			res.Stats.FossilCollected, res.Stats.EventsCommitted)
+	}
+}
+
+// TestAntiMessageStragglers verifies both rollback triggers occur and are
+// handled under aggressive cancellation with remote traffic.
+func TestAntiMessageStragglers(t *testing.T) {
+	cfg := testConfig(4000)
+	cfg.OptimismWindow = 300 // enough slack for cancellation cascades
+	m := phold.New(phold.Config{
+		Objects: 16, TokensPerObject: 4, MeanDelay: 8, Locality: 0.1, LPs: 4, Seed: 17,
+	})
+	res, err := core.Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Stragglers == 0 {
+		t.Skip("run produced no positive stragglers; nothing to check")
+	}
+	if res.Stats.AntiMsgsSent > 0 && res.Stats.AntiStragglers == 0 {
+		t.Log("anti-messages never arrived in an object's past this run (allowed)")
+	}
+	// Regardless of the mix, the result must still be exact.
+	seq, err := core.RunSequential(m, cfg.EndTime, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EventsCommitted != seq.EventsExecuted {
+		t.Errorf("committed %d vs sequential %d", res.Stats.EventsCommitted, seq.EventsExecuted)
+	}
+}
+
+// TestManyLPs scales the LP count past the host's core count.
+func TestManyLPs(t *testing.T) {
+	m := phold.New(phold.Config{
+		Objects: 64, TokensPerObject: 2, MeanDelay: 12, Locality: 0.4, LPs: 8, Seed: 23,
+	})
+	cfg := testConfig(1000)
+	assertMatchesSequential(t, m, cfg)
+}
+
+// TestRepeatedRunsAreReproducible: the committed results are a pure function
+// of (model, end time), independent of scheduling and configuration.
+func TestRepeatedRunsAreReproducible(t *testing.T) {
+	cfg := testConfig(1200)
+	var committed int64
+	for i := 0; i < 3; i++ {
+		res, err := core.Run(testModel(29), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			committed = res.Stats.EventsCommitted
+		} else if res.Stats.EventsCommitted != committed {
+			t.Fatalf("run %d committed %d, run 0 committed %d",
+				i, res.Stats.EventsCommitted, committed)
+		}
+	}
+}
+
+// TestZeroDelaySelfSend: events scheduled at the sender's current time for
+// another object are legal (zero lookahead) and must stay deterministic.
+func TestCheckpointIntervalExtremes(t *testing.T) {
+	for _, interval := range []int{1, 1000} {
+		cfg := testConfig(800)
+		cfg.Checkpoint = statesave.Config{Mode: statesave.Periodic, Interval: interval}
+		assertMatchesSequential(t, testModel(31), cfg)
+	}
+}
+
+// TestTimelineSampling records adaptation samples and checks monotonicity.
+func TestTimelineSampling(t *testing.T) {
+	cfg := testConfig(3000)
+	cfg.Timeline = true
+	cfg.Checkpoint = statesave.Config{Mode: statesave.Dynamic, Interval: 1, Period: 64}
+	cfg.Cancellation = cancel.Config{Mode: cancel.Dynamic, FilterDepth: 8, Period: 2}
+	res, err := core.Run(testModel(37), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != 4 {
+		t.Fatalf("timelines = %d, want one per LP", len(res.Timeline))
+	}
+	for _, tl := range res.Timeline {
+		if len(tl.Samples) == 0 {
+			t.Errorf("LP %d recorded no samples", tl.LP)
+			continue
+		}
+		prev := tl.Samples[0]
+		for _, s := range tl.Samples[1:] {
+			if s.Wall < prev.Wall {
+				t.Errorf("LP %d: wall time regressed", tl.LP)
+			}
+			if s.GVT.Before(prev.GVT) {
+				t.Errorf("LP %d: GVT regressed %s -> %s", tl.LP, prev.GVT, s.GVT)
+			}
+			if s.EventsCommitted < prev.EventsCommitted {
+				t.Errorf("LP %d: committed count regressed", tl.LP)
+			}
+			prev = s
+		}
+		final := tl.Samples[len(tl.Samples)-1]
+		if final.MeanCheckpointInterval < 1 {
+			t.Errorf("LP %d: mean checkpoint interval %f below 1", tl.LP, final.MeanCheckpointInterval)
+		}
+	}
+}
+
+// TestTimelineOffByDefault keeps the default path allocation-free.
+func TestTimelineOffByDefault(t *testing.T) {
+	res, err := core.Run(testModel(1), testConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline != nil {
+		t.Error("timeline recorded without being requested")
+	}
+}

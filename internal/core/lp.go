@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"gowarp/internal/comm"
+	"gowarp/internal/event"
+	"gowarp/internal/gvt"
+	"gowarp/internal/pq"
+	"gowarp/internal/statesave"
+	"gowarp/internal/stats"
+	"gowarp/internal/vtime"
+)
+
+// shared holds the read-only cross-LP tables.
+type shared struct {
+	lpOf []int        // ObjectID -> hosting LP
+	objs []*simObject // ObjectID -> runtime (each LP touches only its own)
+}
+
+// lpRun is one logical process: a goroutine owning a set of simulation
+// objects, a scheduler over them, a network endpoint and a GVT manager.
+type lpRun struct {
+	id      int
+	cfg     *Config
+	k       *shared
+	objs    []*simObject
+	sched   *pq.ScheduleHeap
+	ep      *comm.Endpoint
+	gvtMgr  *gvt.Manager
+	inbox   <-chan comm.Packet
+	st      stats.Counters
+	running bool
+
+	// deferred holds intra-LP messages awaiting insertion; deferring them
+	// to the main loop keeps rollback cascades from re-entering an object
+	// mid-rollback.
+	deferred []*event.Event
+
+	// idleTick bounds how long an idle LP sleeps before re-checking
+	// aggregation deadlines and (on LP 0) GVT initiation.
+	idleTick time.Duration
+
+	// numLPs and started support timeline sampling (see timeline.go).
+	numLPs   int
+	started  time.Time
+	timeline []Sample
+
+	// tunerGen is the last-applied external-adjustment generation.
+	tunerGen uint64
+}
+
+// refresh re-keys o in the schedule heap after its pending set changed.
+func (lp *lpRun) refresh(o *simObject) {
+	lp.sched.Update(o.slot, o.nextTime())
+}
+
+// route delivers an outgoing event: directly (deferred) for a co-hosted
+// receiver, through the network otherwise. Urgent messages (anti-messages)
+// flush the aggregation buffer immediately.
+func (lp *lpRun) route(ev *event.Event, urgent bool) {
+	dst := lp.k.lpOf[ev.Receiver]
+	if dst == lp.id {
+		lp.deferred = append(lp.deferred, ev)
+		lp.st.IntraLPMsgs++
+		return
+	}
+	lp.ep.Send(ev, dst, urgent)
+}
+
+// emitAnti is the cancellation managers' transmit hook.
+func (lp *lpRun) emitAnti(anti *event.Event) { lp.route(anti, true) }
+
+// drainDeferred inserts queued intra-LP messages until none remain
+// (insertions can trigger rollbacks that enqueue more).
+func (lp *lpRun) drainDeferred() {
+	for len(lp.deferred) > 0 {
+		q := lp.deferred
+		lp.deferred = nil
+		for _, ev := range q {
+			lp.k.objs[ev.Receiver].deliver(ev)
+		}
+	}
+}
+
+// drainInbox handles every packet currently queued, without blocking.
+func (lp *lpRun) drainInbox() {
+	for lp.running {
+		select {
+		case p := <-lp.inbox:
+			lp.handlePacket(p)
+		default:
+			return
+		}
+	}
+}
+
+func (lp *lpRun) handlePacket(p comm.Packet) {
+	switch p.Kind {
+	case comm.PktEvents:
+		evs, err := lp.ep.DecodeEvents(p)
+		if err != nil {
+			panic(fmt.Sprintf("core: LP %d: corrupt events packet from LP %d: %v", lp.id, p.From, err))
+		}
+		for _, ev := range evs {
+			lp.k.objs[ev.Receiver].deliver(ev)
+		}
+	case comm.PktToken:
+		lp.drainDeferred()
+		if g, found := lp.gvtMgr.OnToken(p.Token, lp.localMin()); found {
+			lp.finishGVT(g)
+		}
+	case comm.PktGVT:
+		lp.gvtMgr.Apply(p.GVT)
+		lp.applyGVT(p.GVT)
+	case comm.PktStop:
+		lp.running = false
+	}
+}
+
+// localMin computes this LP's contribution to GVT: the minimum over
+// unprocessed events, queued intra-LP messages, and unsent lazy
+// anti-messages. Objects with no executable work first drain their stale
+// lazy-pending outputs so idle LPs never hold GVT back.
+func (lp *lpRun) localMin() vtime.Time {
+	for _, o := range lp.objs {
+		o.drainStale()
+	}
+	lp.drainDeferred()
+	min := vtime.PosInf
+	for _, o := range lp.objs {
+		min = vtime.Min(min, o.nextTime())
+		min = vtime.Min(min, o.out.MinPending())
+	}
+	return min
+}
+
+// horizon returns the latest virtual time this LP may optimistically execute
+// at: unbounded without an optimism window, otherwise the last known GVT
+// (floored at zero, since GVT starts at -inf) plus the window. Blocked LPs
+// idle, which forces GVT computations, which advance the horizon.
+func (lp *lpRun) horizon() vtime.Time {
+	w := lp.cfg.OptimismWindow
+	if tn := lp.cfg.Tuner; tn != nil {
+		if ov, ok := tn.windowOverride(); ok {
+			w = ov
+		}
+	}
+	if w <= 0 {
+		return vtime.PosInf
+	}
+	return vtime.Max(lp.gvtMgr.GVT(), vtime.Zero).Add(w)
+}
+
+// maybeGVT lets LP 0 start a GVT computation; force is set when the LP has
+// gone idle, so termination is detected without waiting a full period.
+func (lp *lpRun) maybeGVT(force bool) {
+	if g, found := lp.gvtMgr.MaybeInitiate(lp.localMin(), force); found {
+		lp.finishGVT(g) // single-LP short circuit
+	}
+}
+
+// finishGVT runs on the initiator when a computation completes: broadcast
+// the value, fossil-collect locally, and terminate the simulation once GVT
+// has strictly passed the end time (or the model has drained: GVT == +inf).
+// Strictness matters: GVT equal to the end time still admits an in-flight
+// event with receive time exactly EndTime, which must execute before the
+// simulation may stop.
+func (lp *lpRun) finishGVT(g vtime.Time) {
+	lp.ep.BroadcastGVT(g)
+	lp.applyGVT(g)
+	if g.After(lp.cfg.EndTime) {
+		lp.ep.BroadcastStop()
+		lp.running = false
+	}
+}
+
+// applyGVT fossil-collects every hosted object against the new GVT and, if
+// enabled, records a timeline sample.
+func (lp *lpRun) applyGVT(g vtime.Time) {
+	for _, o := range lp.objs {
+		o.fossilCollect(g)
+	}
+	lp.applyTuner()
+	if lp.cfg.Timeline {
+		lp.recordSample(g)
+	}
+}
+
+// initObjects builds each hosted object's initial state, runs Init, and
+// takes the initial checkpoint (after Init, so Init is never re-executed by
+// rollback).
+func (lp *lpRun) initObjects() {
+	for _, o := range lp.objs {
+		o.state = o.obj.InitialState()
+		ctx := execContext{o: o}
+		o.obj.Init(&ctx, o.state)
+		o.stateQ = statesave.NewQueue(statesave.Snapshot{
+			State:   o.state.Clone(),
+			SendVT:  o.sendVT,
+			SendSeq: o.sendSeq,
+		})
+		lp.refresh(o)
+	}
+}
+
+// run is the LP goroutine body: drain communication, keep the control
+// machinery ticking, execute the lowest-timestamped local event, repeat;
+// block briefly when idle.
+func (lp *lpRun) run() {
+	lp.initObjects()
+	for lp.running {
+		lp.drainInbox()
+		if !lp.running {
+			break
+		}
+		lp.drainDeferred()
+		if lp.id == 0 {
+			lp.maybeGVT(false)
+		}
+		lp.ep.Poll(time.Now())
+
+		slot, t := lp.sched.Min()
+		if slot >= 0 && t != vtime.PosInf && !t.After(lp.cfg.EndTime) && !t.After(lp.horizon()) {
+			o := lp.objs[slot]
+			o.executeNext()
+			lp.refresh(o)
+			// Yield between events so peers' control traffic (GVT tokens,
+			// stragglers) flows at event granularity even when the host
+			// has fewer cores than LPs; without this a spinning LP holds
+			// its core until involuntary preemption (~ms), and GVT — and
+			// with it every optimism-window refill — stalls behind it.
+			runtime.Gosched()
+			continue
+		}
+		lp.idle()
+	}
+}
+
+// idle blocks on the inbox with a bounded timeout: the next aggregation
+// deadline if one is pending, else the idle tick. On wake, LP 0 may force a
+// GVT computation so global quiescence turns into termination.
+func (lp *lpRun) idle() {
+	for _, o := range lp.objs {
+		o.drainStale()
+	}
+	timeout := lp.idleTick
+	if dl, ok := lp.ep.NextDeadline(); ok {
+		if d := time.Until(dl); d < timeout {
+			timeout = d
+		}
+	}
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		select {
+		case p := <-lp.inbox:
+			timer.Stop()
+			lp.handlePacket(p)
+		case <-timer.C:
+		}
+	}
+	lp.ep.Poll(time.Now())
+	if lp.id == 0 && lp.running {
+		lp.maybeGVT(true)
+	}
+}

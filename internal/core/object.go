@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gowarp/internal/cancel"
+	"gowarp/internal/event"
+	"gowarp/internal/model"
+	"gowarp/internal/pq"
+	"gowarp/internal/spin"
+	"gowarp/internal/statesave"
+	"gowarp/internal/vtime"
+)
+
+// simObject is the kernel-side runtime of one simulation object: the
+// physical process plus its input, output and state queues (Figure 1).
+// A simObject is owned by exactly one logical process and touched only by
+// that LP's goroutine.
+type simObject struct {
+	id   event.ObjectID
+	slot int // index within the owning LP, for the schedule heap
+	obj  model.Object
+	lp   *lpRun
+
+	// state is the working copy the object mutates; lvt and lastExec track
+	// the most recently executed event.
+	state    model.State
+	lvt      vtime.Time
+	lastExec *event.Event
+
+	// pending holds unprocessed input events; processed holds executed
+	// events in execution order (== event.Compare order), retained for
+	// rollback until fossil-collected. processedBase is the absolute index
+	// of processed[0]; committedAbs counts events committed so far.
+	pending       pq.PendingSet
+	processed     []*event.Event
+	processedBase int64
+	committedAbs  int64
+
+	stateQ *statesave.Queue
+	ckpt   *statesave.Checkpointer
+	out    *cancel.Manager
+
+	// orphans holds anti-messages that arrived before their positive
+	// counterpart (impossible over the FIFO substrate, kept as defense in
+	// depth for alternative transports).
+	orphans map[pq.Identity]*event.Event
+
+	// seq numbers outgoing events; it is deliberately not part of the
+	// saved state — identities need uniqueness, not reproducibility.
+	seq uint64
+	// sendVT and sendSeq implement the reproducible per-send-time sequence
+	// that orders same-timestamp events; they are checkpointed with state
+	// and restored on rollback so re-executed sends reproduce their keys.
+	sendVT  vtime.Time
+	sendSeq uint32
+
+	// coasting suppresses output transmission during coast forward.
+	coasting bool
+
+	rollbacks int64
+}
+
+// absProcessed returns the absolute index one past the last processed event.
+func (o *simObject) absProcessed() int64 {
+	return o.processedBase + int64(len(o.processed))
+}
+
+// nextTime returns the receive time of the next unprocessed event, or
+// vtime.PosInf when idle.
+func (o *simObject) nextTime() vtime.Time {
+	if e := o.pending.PeekMin(); e != nil {
+		return e.RecvTime
+	}
+	return vtime.PosInf
+}
+
+// deliver inserts an arriving message (positive or anti) into the object's
+// input queue, rolling back first if the message lands in the processed
+// past.
+func (o *simObject) deliver(ev *event.Event) {
+	if ev.IsAnti() {
+		o.deliverAnti(ev)
+		o.lp.refresh(o)
+		return
+	}
+	id := pq.IdentityOf(ev)
+	if _, ok := o.orphans[id]; ok {
+		// The anti-message overtook us; the pair annihilates on arrival.
+		delete(o.orphans, id)
+		return
+	}
+	if o.lastExec != nil && event.Compare(ev, o.lastExec) < 0 {
+		o.rollback(ev, false)
+	}
+	o.pending.Push(ev)
+	o.lp.refresh(o)
+}
+
+func (o *simObject) deliverAnti(anti *event.Event) {
+	id := pq.IdentityOf(anti)
+	if o.pending.Remove(id) != nil {
+		return // annihilated an unprocessed event
+	}
+	if o.processedHas(anti) {
+		// The positive was already executed: roll back past it, which
+		// requeues it into pending, then annihilate.
+		o.rollback(anti, true)
+		if o.pending.Remove(id) == nil {
+			panic(fmt.Sprintf("core: object %d: annihilation target vanished after rollback (%s)", o.id, anti))
+		}
+		return
+	}
+	o.orphans[id] = anti
+}
+
+// processedHas reports whether the positive counterpart of anti is in the
+// processed list. Processed events are in event.Compare order, and the
+// positive sorts immediately after its anti, so scanning back until events
+// sort before the anti is exact.
+func (o *simObject) processedHas(anti *event.Event) bool {
+	for i := len(o.processed) - 1; i >= 0; i-- {
+		e := o.processed[i]
+		if event.Compare(e, anti) < 0 {
+			return false
+		}
+		if e.SameIdentity(anti) {
+			return true
+		}
+	}
+	return false
+}
+
+// rollback undoes optimistic work past the straggler: cancel outputs under
+// the strategy in force, requeue rolled-back input events, restore the
+// newest state strictly before the straggler's receive time, and coast
+// forward (re-execute with outputs suppressed) up to the straggler.
+func (o *simObject) rollback(straggler *event.Event, isAnti bool) {
+	lp := o.lp
+	lp.st.Rollbacks++
+	o.rollbacks++
+	if isAnti {
+		lp.st.AntiStragglers++
+	} else {
+		lp.st.Stragglers++
+	}
+
+	o.out.OnRollback(straggler)
+
+	// Requeue the suffix of processed events ordered after the straggler.
+	k := len(o.processed)
+	for k > 0 && event.Compare(o.processed[k-1], straggler) > 0 {
+		k--
+	}
+	rolled := int64(len(o.processed) - k)
+	for _, e := range o.processed[k:] {
+		o.pending.Push(e)
+	}
+	for i := k; i < len(o.processed); i++ {
+		o.processed[i] = nil
+	}
+	o.processed = o.processed[:k]
+	lp.st.EventsRolledBack += rolled
+	lp.st.RollbackLength += rolled
+
+	// Restore the newest snapshot strictly before the straggler.
+	snap := o.stateQ.RestoreBefore(straggler.RecvTime)
+	o.state = snap.State.Clone()
+	o.sendVT = snap.SendVT
+	o.sendSeq = snap.SendSeq
+
+	// Coast forward through retained processed events taken after the
+	// snapshot; their outputs were already (correctly) sent, so
+	// transmission is suppressed.
+	start := int(snap.Mark - o.processedBase)
+	if start < 0 || start > len(o.processed) {
+		panic(fmt.Sprintf("core: object %d: snapshot mark %d outside processed window [%d,%d)",
+			o.id, snap.Mark, o.processedBase, o.absProcessed()))
+	}
+	if coast := o.processed[start:]; len(coast) > 0 {
+		t0 := time.Now()
+		o.coasting = true
+		for _, e := range coast {
+			spin.Spin(lp.cfg.EventCost)
+			o.execApp(e)
+		}
+		o.coasting = false
+		d := time.Since(t0)
+		o.ckpt.RecordCoastCost(d)
+		lp.st.CoastForwardTime += d
+		lp.st.CoastForwardEvents += int64(len(coast))
+	}
+	o.ckpt.OnRestore(len(o.processed) - start)
+
+	if len(o.processed) > 0 {
+		o.lastExec = o.processed[len(o.processed)-1]
+		o.lvt = o.lastExec.RecvTime
+	} else {
+		o.lastExec = nil
+		o.lvt = snap.Time
+	}
+}
+
+// executeNext pops and executes the object's next event, then runs the
+// per-event bookkeeping: lazy-expiry, checkpointing and its controller.
+func (o *simObject) executeNext() {
+	lp := o.lp
+	ev := o.pending.PopMin()
+	if ev == nil {
+		return
+	}
+	spin.Spin(lp.cfg.EventCost)
+	o.execApp(ev)
+	o.processed = append(o.processed, ev)
+	o.lastExec = ev
+	o.lvt = ev.RecvTime
+	lp.st.EventsProcessed++
+
+	o.out.AfterExecute(ev)
+
+	if o.ckpt.OnEventProcessed() {
+		t0 := time.Now()
+		snap := o.state.Clone()
+		d := time.Since(t0)
+		o.stateQ.Save(statesave.Snapshot{
+			Time:    o.lvt,
+			State:   snap,
+			Mark:    o.absProcessed(),
+			SendVT:  o.sendVT,
+			SendSeq: o.sendSeq,
+		})
+		o.ckpt.RecordSaveCost(d)
+		lp.st.StatesSaved++
+		lp.st.StateSaveTime += d
+		if s, ok := snap.(interface{ StateBytes() int }); ok {
+			lp.st.StateBytes += int64(s.StateBytes())
+		}
+	}
+}
+
+// execApp invokes the model's handler for e against the working state.
+func (o *simObject) execApp(e *event.Event) {
+	ctx := execContext{o: o, cur: e}
+	o.obj.Execute(&ctx, o.state, e)
+}
+
+// drainStale resolves leftover lazy-pending outputs when the object has no
+// executable work left (idle, or only events beyond EndTime). See
+// cancel.Manager.Drain for why early draining is safe.
+func (o *simObject) drainStale() {
+	if o.out.PendingLen() == 0 {
+		return
+	}
+	next := o.nextTime()
+	if next == vtime.PosInf || next.After(o.lp.cfg.EndTime) {
+		o.out.Drain()
+	}
+}
+
+// fossilCollect reclaims history below GVT: old snapshots, committed
+// processed events no snapshot can coast from, output records, and stale
+// orphans. Commit accounting happens here because an event is committed
+// exactly when GVT passes its receive time.
+func (o *simObject) fossilCollect(gvt vtime.Time) {
+	lp := o.lp
+	lp.st.FossilCollected += int64(o.stateQ.FossilCollect(gvt))
+
+	for o.committedAbs < o.absProcessed() {
+		rel := o.committedAbs - o.processedBase
+		if !o.processed[rel].RecvTime.Before(gvt) {
+			break
+		}
+		o.committedAbs++
+		lp.st.EventsCommitted++
+	}
+
+	if drop := o.stateQ.OldestMark() - o.processedBase; drop > 0 {
+		n := int(drop)
+		copy(o.processed, o.processed[n:])
+		for i := len(o.processed) - n; i < len(o.processed); i++ {
+			o.processed[i] = nil
+		}
+		o.processed = o.processed[:len(o.processed)-n]
+		o.processedBase += drop
+		lp.st.FossilCollected += drop
+	}
+
+	lp.st.FossilCollected += int64(o.out.FossilCollect(gvt))
+
+	for k, a := range o.orphans {
+		if a.RecvTime.Before(gvt) {
+			delete(o.orphans, k)
+		}
+	}
+}
+
+// commitRemaining finalizes commit accounting at termination, when every
+// processed event is known final.
+func (o *simObject) commitRemaining() {
+	for o.committedAbs < o.absProcessed() {
+		o.committedAbs++
+		o.lp.st.EventsCommitted++
+	}
+}

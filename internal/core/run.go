@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gowarp/internal/cancel"
+	"gowarp/internal/comm"
+	"gowarp/internal/event"
+	"gowarp/internal/gvt"
+	"gowarp/internal/model"
+	"gowarp/internal/pq"
+	"gowarp/internal/statesave"
+	"gowarp/internal/stats"
+)
+
+// Run executes m under cfg on the parallel Time Warp kernel and returns the
+// merged results. It blocks until the simulation terminates (GVT passes
+// cfg.EndTime, or the model drains).
+func Run(m *model.Model, cfg Config) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EndTime <= 0 {
+		return nil, fmt.Errorf("core: non-positive end time %s", cfg.EndTime)
+	}
+	numLPs := m.NumLPs()
+
+	sh := &shared{
+		lpOf: make([]int, len(m.Objects)),
+		objs: make([]*simObject, len(m.Objects)),
+	}
+	copy(sh.lpOf, m.Partition)
+
+	net := comm.NewNetwork(numLPs, cfg.Cost, cfg.InboxDepth)
+	lps := make([]*lpRun, numLPs)
+	for i := range lps {
+		lp := &lpRun{
+			id:       i,
+			cfg:      &cfg,
+			k:        sh,
+			inbox:    net.Inbox(i),
+			running:  true,
+			idleTick: cfg.GVTPeriod / 4,
+			numLPs:   numLPs,
+		}
+		if lp.idleTick <= 0 {
+			lp.idleTick = 250 * time.Microsecond
+		}
+		lp.ep = net.NewEndpoint(i, cfg.Aggregation, &lp.st)
+		lp.gvtMgr = gvt.NewManager(i, numLPs, lp.ep, cfg.GVTPeriod, &lp.st)
+		lps[i] = lp
+	}
+
+	for id, obj := range m.Objects {
+		lp := lps[m.Partition[id]]
+		o := &simObject{
+			id:      event.ObjectID(id),
+			slot:    len(lp.objs),
+			obj:     obj,
+			lp:      lp,
+			pending: pq.New(cfg.PendingSet),
+			orphans: make(map[pq.Identity]*event.Event),
+		}
+		o.ckpt = statesave.NewCheckpointer(cfg.Checkpoint)
+		sel := cancel.NewSelector(cfg.Cancellation)
+		o.out = cancel.NewManager(sel, lp.emitAnti, &lp.st)
+		sh.objs[id] = o
+		lp.objs = append(lp.objs, o)
+	}
+	for _, lp := range lps {
+		lp.sched = pq.NewScheduleHeap(len(lp.objs))
+	}
+
+	start := time.Now()
+	for _, lp := range lps {
+		lp.started = start
+	}
+	var wg sync.WaitGroup
+	panics := make([]interface{}, numLPs)
+	for _, lp := range lps {
+		wg.Add(1)
+		go func(lp *lpRun) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[lp.id] = r
+					// Unblock peers so the run can fail cleanly.
+					lp.ep.BroadcastStop()
+				}
+			}()
+			lp.run()
+		}(lp)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for i, p := range panics {
+		if p != nil {
+			return nil, fmt.Errorf("core: LP %d failed: %v", i, p)
+		}
+	}
+
+	res := &Result{
+		PerLP:       make([]stats.Counters, numLPs),
+		PerObject:   make([]stats.PerObject, 0, len(sh.objs)),
+		GVT:         lps[0].gvtMgr.GVT(),
+		Elapsed:     elapsed,
+		FinalStates: make([]model.State, len(sh.objs)),
+	}
+	for _, o := range sh.objs {
+		o.commitRemaining()
+	}
+	for i, lp := range lps {
+		for _, o := range lp.objs {
+			lp.st.CheckpointAdjustments += o.ckpt.Adjustments
+		}
+		res.PerLP[i] = lp.st
+		res.Stats.Merge(&lp.st)
+	}
+	if cfg.Timeline {
+		for _, lp := range lps {
+			res.Timeline = append(res.Timeline, LPTimeline{LP: lp.id, Samples: lp.timeline})
+		}
+	}
+	for _, o := range sh.objs {
+		res.FinalStates[o.id] = o.state
+		res.PerObject = append(res.PerObject, stats.PerObject{
+			Name:               o.obj.Name(),
+			Rollbacks:          o.rollbacks,
+			HitRatio:           o.out.Selector().HitRatio(),
+			FinalStrategy:      o.out.Selector().Current().String(),
+			FinalCheckpointInt: o.ckpt.Interval(),
+		})
+	}
+	return res, nil
+}

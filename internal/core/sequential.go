@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gowarp/internal/event"
+	"gowarp/internal/model"
+	"gowarp/internal/pq"
+	"gowarp/internal/spin"
+	"gowarp/internal/vtime"
+)
+
+// SeqResult is what the sequential reference kernel produces. Because the
+// sequential kernel executes every event exactly once in the global total
+// order, its outputs define correctness for the parallel kernel: equal
+// committed-event counts and equal final states mean the optimistic
+// machinery (rollback, cancellation, aggregation, GVT) preserved semantics.
+type SeqResult struct {
+	// EventsExecuted counts events executed (receive time <= end time).
+	EventsExecuted int64
+	// FinalStates holds every object's final state, indexed by ObjectID.
+	FinalStates []model.State
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// seqContext implements model.Context for the sequential kernel.
+type seqContext struct {
+	k   *seqKernel
+	id  event.ObjectID
+	cur *event.Event
+}
+
+func (c *seqContext) Self() event.ObjectID { return c.id }
+
+func (c *seqContext) Now() vtime.Time {
+	if c.cur == nil {
+		return vtime.Zero
+	}
+	return c.cur.RecvTime
+}
+
+func (c *seqContext) EndTime() vtime.Time { return c.k.endTime }
+
+func (c *seqContext) Send(to event.ObjectID, delay vtime.Time, kind uint32, payload []byte) {
+	if delay < 0 {
+		panic(fmt.Sprintf("core: object %d sent an event into its own past (delay %s)", c.id, delay))
+	}
+	if int(to) < 0 || int(to) >= len(c.k.states) {
+		panic(fmt.Sprintf("core: object %d sent to unknown object %d", c.id, to))
+	}
+	now := c.Now()
+	if now != c.k.sendVT[c.id] {
+		c.k.sendVT[c.id] = now
+		c.k.sendSeq[c.id] = 0
+	}
+	c.k.pending.Push(&event.Event{
+		SendTime: now,
+		RecvTime: now.Add(delay),
+		Sender:   c.id,
+		Receiver: to,
+		ID:       c.k.seqs[c.id],
+		SendSeq:  c.k.sendSeq[c.id],
+		Kind:     kind,
+		Payload:  payload,
+	})
+	c.k.seqs[c.id]++
+	c.k.sendSeq[c.id]++
+}
+
+type seqKernel struct {
+	endTime vtime.Time
+	pending pq.PendingSet
+	states  []model.State
+	seqs    []uint64
+	sendVT  []vtime.Time
+	sendSeq []uint32
+}
+
+// RunSequential executes m in strict global timestamp order on a single
+// goroutine, with no optimism and no history queues. eventCost is the same
+// synthetic per-event CPU burn the parallel kernel charges.
+func RunSequential(m *model.Model, endTime vtime.Time, eventCost time.Duration) (*SeqResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if endTime <= 0 {
+		return nil, fmt.Errorf("core: non-positive end time %s", endTime)
+	}
+	k := &seqKernel{
+		endTime: endTime,
+		pending: pq.NewHeapSet(),
+		states:  make([]model.State, len(m.Objects)),
+		seqs:    make([]uint64, len(m.Objects)),
+		sendVT:  make([]vtime.Time, len(m.Objects)),
+		sendSeq: make([]uint32, len(m.Objects)),
+	}
+	start := time.Now()
+	for id, obj := range m.Objects {
+		st := obj.InitialState()
+		k.states[id] = st
+		ctx := seqContext{k: k, id: event.ObjectID(id)}
+		obj.Init(&ctx, st)
+	}
+	res := &SeqResult{}
+	for {
+		ev := k.pending.PeekMin()
+		if ev == nil || ev.RecvTime.After(endTime) {
+			break
+		}
+		k.pending.PopMin()
+		spin.Spin(eventCost)
+		ctx := seqContext{k: k, id: ev.Receiver, cur: ev}
+		m.Objects[ev.Receiver].Execute(&ctx, k.states[ev.Receiver], ev)
+		res.EventsExecuted++
+	}
+	res.FinalStates = k.states
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

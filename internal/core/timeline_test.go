@@ -1,0 +1,45 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	tls := []LPTimeline{
+		{LP: 0, Samples: []Sample{
+			{Wall: time.Millisecond, GVT: 10, EventsProcessed: 5, EventsCommitted: 3,
+				MeanCheckpointInterval: 2.5, LazyObjects: 1, AggregationWindow: 50 * time.Microsecond},
+			{Wall: 2 * time.Millisecond, GVT: 20, EventsProcessed: 9, EventsCommitted: 8},
+		}},
+		{LP: 1, Samples: []Sample{
+			{Wall: time.Millisecond, GVT: 10},
+		}},
+	}
+	out := RenderTimeline(tls, 0)
+	for _, want := range []string{"LP", "gvt", "chi", "2.5", "50µs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 1+3 {
+		t.Errorf("rendered %d lines, want header + 3 samples", got)
+	}
+}
+
+func TestRenderTimelineThinning(t *testing.T) {
+	tl := LPTimeline{LP: 0}
+	for i := 0; i < 100; i++ {
+		tl.Samples = append(tl.Samples, Sample{GVT: 1})
+	}
+	out := RenderTimeline([]LPTimeline{tl}, 10)
+	if rows := strings.Count(out, "\n") - 1; rows > 12 {
+		t.Errorf("thinning left %d rows, want <= ~10", rows)
+	}
+	// No thinning keeps everything.
+	out = RenderTimeline([]LPTimeline{tl}, 0)
+	if rows := strings.Count(out, "\n") - 1; rows != 100 {
+		t.Errorf("unthinned rows = %d", rows)
+	}
+}

@@ -1,0 +1,60 @@
+package event
+
+import (
+	"bytes"
+	"testing"
+
+	"gowarp/internal/vtime"
+)
+
+// FuzzDecode throws arbitrary bytes at the wire decoder: it must never
+// panic, and everything it accepts must re-encode to the bytes it consumed.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(sample().Encode(nil))
+	f.Add(sample().Anti().Encode(nil))
+	long := sample()
+	long.Payload = make([]byte, 300)
+	f.Add(long.Encode(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, rest, err := Decode(data)
+		if err != nil {
+			if err != ErrTruncated {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			return
+		}
+		consumed := len(data) - len(rest)
+		re := e.Encode(nil)
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("re-encode mismatch:\n in:  %x\n out: %x", data[:consumed], re)
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip fuzzes structured field values through the
+// codec.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(0), int32(0), int32(0), uint64(0), uint32(0), false, uint32(0), []byte(nil))
+	f.Add(int64(-5), int64(1<<40), int32(7), int32(9), uint64(1<<60), uint32(3), true, uint32(99), []byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, send, recv int64, sender, receiver int32,
+		id uint64, seq uint32, anti bool, kind uint32, payload []byte) {
+		e := &Event{
+			SendTime: vtime.Time(send), RecvTime: vtime.Time(recv),
+			Sender: ObjectID(sender), Receiver: ObjectID(receiver),
+			ID: id, SendSeq: seq, Kind: kind, Payload: payload,
+		}
+		if anti {
+			e.Sign = Negative
+		}
+		got, rest, err := Decode(e.Encode(nil))
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("decode failed: %v (%d rest)", err, len(rest))
+		}
+		if Compare(got, e) != 0 || got.Kind != e.Kind || !bytes.Equal(got.Payload, e.Payload) {
+			t.Fatalf("round trip mismatch: %v vs %v", got, e)
+		}
+	})
+}

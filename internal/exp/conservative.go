@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+
+	"gowarp"
+)
+
+// ConservativeComparison sweeps model lookahead on PHOLD and measures Time
+// Warp against the CMB null-message kernel on the same simulated network —
+// the classic optimistic-vs-conservative crossover: conservative execution
+// starves (and drowns in null messages) at small lookahead, while Time Warp
+// pays for its optimism with rollbacks but is insensitive to lookahead.
+// The paper's Section 2 frames Time Warp against exactly this baseline.
+func (tb Testbed) ConservativeComparison() (Figure, error) {
+	fig := Figure{
+		Name:   "tw-vs-cmb",
+		Title:  "Time Warp vs CMB null-message kernel vs model lookahead (PHOLD)",
+		XLabel: "lookahead",
+		YLabel: "execution seconds",
+	}
+	tw := Series{Name: "TimeWarp"}
+	cmb := Series{Name: "CMB"}
+
+	end := gowarp.VTime(60_000)
+	if tb.Quick {
+		end = 10_000
+	}
+	for _, la := range []int64{1, 2, 5, 10, 20} {
+		m := gowarp.NewPHOLD(gowarp.PHOLDConfig{
+			Objects:         32,
+			TokensPerObject: 4,
+			MeanDelay:       20,
+			MinDelay:        la,
+			Locality:        0.5,
+			LPs:             4,
+			Seed:            77,
+			StatePadding:    tb.StatePadding,
+		})
+
+		cfg := tb.baseConfig(end, 1500)
+		cfg.Checkpoint.Interval = 4
+		row, err := tb.run(m, cfg)
+		if err != nil {
+			return fig, fmt.Errorf("tw-vs-cmb/tw/la=%d: %w", la, err)
+		}
+		row.X = float64(la)
+		tw.Rows = append(tw.Rows, row)
+
+		crow, err := tb.runConservative(m, gowarp.ConservativeConfig{
+			EndTime:   end,
+			Lookahead: gowarp.VTime(la),
+			Cost:      tb.Cost,
+			EventCost: tb.EventCost,
+		})
+		if err != nil {
+			return fig, fmt.Errorf("tw-vs-cmb/cmb/la=%d: %w", la, err)
+		}
+		crow.X = float64(la)
+		cmb.Rows = append(cmb.Rows, crow)
+	}
+	fig.Series = []Series{tw, cmb}
+	return fig, nil
+}
+
+// runConservative mirrors run for the CMB kernel.
+func (tb Testbed) runConservative(m *gowarp.Model, cfg gowarp.ConservativeConfig) (Row, error) {
+	var total float64
+	var last *gowarp.ConservativeResult
+	n := tb.Repeat
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		res, err := gowarp.RunConservative(m, cfg)
+		if err != nil {
+			return Row{}, err
+		}
+		total += res.Elapsed.Seconds()
+		last = res
+	}
+	return Row{
+		Seconds: total / float64(n),
+		Rate:    last.EventRate(),
+		Stats:   last.Stats,
+	}, nil
+}

@@ -1,0 +1,246 @@
+// Package exp is the experiment harness: it regenerates, on the simulated
+// network-of-workstations testbed, every table and figure of the paper's
+// evaluation (Section 8), plus the design-choice ablations listed in
+// DESIGN.md. Both cmd/twbench and the repository benchmarks drive it.
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gowarp"
+	"gowarp/internal/stats"
+)
+
+// Testbed fixes the simulated environment shared by all experiments: the
+// communication cost model standing in for the paper's 10 Mb Ethernet NOW,
+// the synthetic event granularity, and per-model optimism windows.
+type Testbed struct {
+	// Cost is the physical-message cost model.
+	Cost gowarp.CostModel
+	// EventCost is the CPU burn per event execution.
+	EventCost time.Duration
+	// GVTPeriod is the wall-clock GVT cadence.
+	GVTPeriod time.Duration
+	// SMMPWindow and RAIDWindow bound optimism per model (virtual time).
+	SMMPWindow, RAIDWindow gowarp.VTime
+	// StatePadding sizes object state so checkpointing has real cost.
+	StatePadding int
+	// Repeat is the number of measured runs averaged per data point.
+	Repeat int
+	// Quick shrinks workloads (used by tests to keep CI fast); the shapes
+	// remain, absolute numbers shrink.
+	Quick bool
+}
+
+// Default returns the testbed used for the recorded results in
+// EXPERIMENTS.md.
+func Default() Testbed {
+	return Testbed{
+		Cost:         gowarp.CostModel{PerMessage: 80 * time.Microsecond, PerByte: 10 * time.Nanosecond},
+		EventCost:    5 * time.Microsecond,
+		GVTPeriod:    10 * time.Millisecond,
+		SMMPWindow:   2000,
+		RAIDWindow:   4000,
+		StatePadding: 16 << 10,
+		Repeat:       1,
+	}
+}
+
+// Row is one measured data point.
+type Row struct {
+	// Label names the configuration (e.g. "LC", "FAW").
+	Label string
+	// X is the swept parameter value (requests, window age, ...).
+	X float64
+	// Seconds is the mean wall-clock execution time.
+	Seconds float64
+	// Rate is committed events per second.
+	Rate float64
+	// Stats is the (last run's) counter tally, for diagnostics.
+	Stats stats.Counters
+}
+
+// Series is one plotted line: a labelled sequence of rows.
+type Series struct {
+	Name string
+	Rows []Row
+}
+
+// Figure is one regenerated table/figure.
+type Figure struct {
+	Name   string // e.g. "fig5"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render prints the figure as an aligned text table, one row per X value,
+// one column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.Name, f.Title)
+	// Collect the X values in first-series order.
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %14s", s.Name)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", f.YLabel)
+	for i, r := range f.Series[0].Rows {
+		fmt.Fprintf(&b, "%-14g", r.X)
+		for _, s := range f.Series {
+			if i < len(s.Rows) {
+				fmt.Fprintf(&b, "  %14.3f", s.Rows[i].Seconds)
+			} else {
+				fmt.Fprintf(&b, "  %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values: one row per (series, X)
+// point with execution seconds, committed-event rate and headline counters —
+// ready for external plotting.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,series,x,seconds,rate,efficiency,rollbacks,physical_msgs\n")
+	for _, s := range f.Series {
+		for _, r := range s.Rows {
+			fmt.Fprintf(&b, "%s,%s,%g,%.6f,%.1f,%.4f,%d,%d\n",
+				f.Name, s.Name, r.X, r.Seconds, r.Rate,
+				r.Stats.Efficiency(), r.Stats.Rollbacks, r.Stats.PhysicalMsgsSent)
+		}
+	}
+	return b.String()
+}
+
+// runOnce executes the model and returns elapsed seconds plus the result.
+func (tb Testbed) run(m *gowarp.Model, cfg gowarp.Config) (Row, error) {
+	var total float64
+	var last *gowarp.Result
+	n := tb.Repeat
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		res, err := gowarp.Run(m, cfg)
+		if err != nil {
+			return Row{}, err
+		}
+		total += res.Elapsed.Seconds()
+		last = res
+	}
+	return Row{
+		Seconds: total / float64(n),
+		Rate:    last.EventRate(),
+		Stats:   last.Stats,
+	}, nil
+}
+
+// baseConfig returns the all-static baseline under the testbed environment.
+func (tb Testbed) baseConfig(end, window gowarp.VTime) gowarp.Config {
+	cfg := gowarp.DefaultConfig(end)
+	cfg.Cost = tb.Cost
+	cfg.EventCost = tb.EventCost
+	cfg.GVTPeriod = tb.GVTPeriod
+	cfg.OptimismWindow = window
+	cfg.Checkpoint = gowarp.CheckpointConfig{
+		Mode: gowarp.PeriodicCheckpointing,
+		// WARPED's default: states are saved after every event execution.
+		Interval: 1,
+	}
+	return cfg
+}
+
+// smmp returns the paper's SMMP instance generating `requests` test vectors
+// per processor, plus its baseline config.
+func (tb Testbed) smmp(requests int) (*gowarp.Model, gowarp.Config) {
+	if tb.Quick {
+		requests /= 10
+		if requests < 50 {
+			requests = 50
+		}
+	}
+	m := gowarp.NewSMMP(gowarp.SMMPConfig{
+		Requests:     requests,
+		StatePadding: tb.StatePadding,
+	})
+	// Far horizon: the run ends when every processor finishes its vectors.
+	cfg := tb.baseConfig(gowarp.VTime(1)<<40, tb.SMMPWindow)
+	return m, cfg
+}
+
+// raid returns the paper's RAID instance generating `requests` requests per
+// source, plus its baseline config.
+func (tb Testbed) raid(requests int) (*gowarp.Model, gowarp.Config) {
+	if tb.Quick {
+		requests /= 10
+		if requests < 25 {
+			requests = 25
+		}
+	}
+	m := gowarp.NewRAID(gowarp.RAIDConfig{
+		RequestsPerSource: requests,
+		StatePadding:      tb.StatePadding,
+	})
+	cfg := tb.baseConfig(gowarp.VTime(1)<<40, tb.RAIDWindow)
+	return m, cfg
+}
+
+// Cancellation strategy variants of Figures 6 and 7.
+func ac() gowarp.CancellationConfig {
+	return gowarp.CancellationConfig{Mode: gowarp.AggressiveCancellation}
+}
+
+func lc() gowarp.CancellationConfig {
+	return gowarp.CancellationConfig{Mode: gowarp.LazyCancellation}
+}
+
+// dc is the paper's DC: filter depth 16, A2L 0.45, L2A 0.2.
+func dc() gowarp.CancellationConfig {
+	return gowarp.CancellationConfig{
+		Mode: gowarp.DynamicCancellation, FilterDepth: 16,
+		A2LThreshold: 0.45, L2AThreshold: 0.2,
+	}
+}
+
+// st04 is the single-threshold variant: A2L = L2A = 0.4 (no dead zone).
+func st04() gowarp.CancellationConfig {
+	return gowarp.CancellationConfig{
+		Mode: gowarp.DynamicCancellation, FilterDepth: 16,
+		A2LThreshold: 0.4, L2AThreshold: 0.4,
+	}
+}
+
+// ps freezes the strategy permanently after n comparisons.
+func ps(n int) gowarp.CancellationConfig {
+	c := dc()
+	c.PermanentAfter = n
+	return c
+}
+
+// pa10 freezes to aggressive after 10 consecutive misses.
+func pa10() gowarp.CancellationConfig {
+	c := dc()
+	c.PermanentAggressiveRun = 10
+	return c
+}
+
+// dynamicCheckpoint is the Section 4 controller configuration.
+func dynamicCheckpoint() gowarp.CheckpointConfig {
+	return gowarp.CheckpointConfig{
+		Mode:        gowarp.DynamicCheckpointing,
+		Interval:    1,
+		MinInterval: 1,
+		MaxInterval: 64,
+		Period:      256,
+		Margin:      0.05,
+	}
+}

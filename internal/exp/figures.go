@@ -1,0 +1,234 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"gowarp"
+)
+
+// Rates reproduces the Section 8 throughput scalars: committed events per
+// second for SMMP and RAID under the all-static configuration (the paper
+// reports 11,300 and 10,917 on its testbed).
+func (tb Testbed) Rates() (Figure, error) {
+	fig := Figure{
+		Name:   "rates",
+		Title:  "Committed-event rate, all-static configuration (Sec. 8)",
+		XLabel: "model",
+		YLabel: "seconds (rate in EXPERIMENTS.md)",
+	}
+	type pt struct {
+		name string
+		mk   func() (*gowarp.Model, gowarp.Config)
+	}
+	for i, p := range []pt{
+		{"smmp", func() (*gowarp.Model, gowarp.Config) { return tb.smmp(2000) }},
+		{"raid", func() (*gowarp.Model, gowarp.Config) { return tb.raid(500) }},
+	} {
+		m, cfg := p.mk()
+		row, err := tb.run(m, cfg)
+		if err != nil {
+			return fig, fmt.Errorf("rates/%s: %w", p.name, err)
+		}
+		row.Label = p.name
+		row.X = float64(i)
+		fig.Series = append(fig.Series, Series{Name: p.name, Rows: []Row{row}})
+	}
+	return fig, nil
+}
+
+// Fig5 reproduces Figure 5: normalized performance of dynamic check-pointing
+// for RAID and SMMP. Three configurations per model: periodic check-pointing
+// with aggressive cancellation (the 1.0 baseline), periodic with lazy, and
+// dynamic check-pointing with lazy. Rows report execution seconds; the
+// normalized bars are seconds(baseline)/seconds(variant).
+func (tb Testbed) Fig5() (Figure, error) {
+	fig := Figure{
+		Name:   "fig5",
+		Title:  "Dynamic check-pointing (Fig. 5); normalize against column 1",
+		XLabel: "model(0=raid,1=smmp)",
+		YLabel: "execution seconds",
+	}
+	variants := []struct {
+		name string
+		mut  func(*gowarp.Config)
+	}{
+		{"PC+AC", func(c *gowarp.Config) { c.Cancellation = ac() }},
+		{"PC+LC", func(c *gowarp.Config) { c.Cancellation = lc() }},
+		{"DynCkpt+LC", func(c *gowarp.Config) {
+			c.Cancellation = lc()
+			c.Checkpoint = dynamicCheckpoint()
+		}},
+	}
+	for vi := range variants {
+		fig.Series = append(fig.Series, Series{Name: variants[vi].name})
+	}
+	models := []struct {
+		name string
+		mk   func() (*gowarp.Model, gowarp.Config)
+	}{
+		{"raid", func() (*gowarp.Model, gowarp.Config) { return tb.raid(500) }},
+		{"smmp", func() (*gowarp.Model, gowarp.Config) { return tb.smmp(2000) }},
+	}
+	for mi, mm := range models {
+		for vi, v := range variants {
+			m, cfg := mm.mk()
+			v.mut(&cfg)
+			row, err := tb.run(m, cfg)
+			if err != nil {
+				return fig, fmt.Errorf("fig5/%s/%s: %w", mm.name, v.name, err)
+			}
+			row.Label = v.name
+			row.X = float64(mi)
+			fig.Series[vi].Rows = append(fig.Series[vi].Rows, row)
+		}
+	}
+	return fig, nil
+}
+
+// Fig6 reproduces Figure 6: RAID execution time versus number of requests
+// per source for the cancellation strategies AC, LC, DC, ST0.4, PS32, PA10.
+func (tb Testbed) Fig6() (Figure, error) {
+	fig := Figure{
+		Name:   "fig6",
+		Title:  "RAID execution time vs requests (Fig. 6)",
+		XLabel: "requests",
+		YLabel: "execution seconds",
+	}
+	variants := []struct {
+		name string
+		cc   gowarp.CancellationConfig
+	}{
+		{"AC", ac()}, {"LC", lc()}, {"DC", dc()},
+		{"ST0.4", st04()}, {"PS32", ps(32)}, {"PA10", pa10()},
+	}
+	for vi := range variants {
+		fig.Series = append(fig.Series, Series{Name: variants[vi].name})
+	}
+	for _, requests := range []int{500, 1000} {
+		for vi, v := range variants {
+			m, cfg := tb.raid(requests)
+			cfg.Cancellation = v.cc
+			row, err := tb.run(m, cfg)
+			if err != nil {
+				return fig, fmt.Errorf("fig6/%s/%d: %w", v.name, requests, err)
+			}
+			row.Label = v.name
+			row.X = float64(requests)
+			fig.Series[vi].Rows = append(fig.Series[vi].Rows, row)
+		}
+	}
+	return fig, nil
+}
+
+// Fig7 reproduces Figure 7: SMMP execution time versus number of test
+// vectors per processor for AC, LC, DC, PS64, PA10.
+func (tb Testbed) Fig7() (Figure, error) {
+	fig := Figure{
+		Name:   "fig7",
+		Title:  "SMMP execution time vs test vectors (Fig. 7)",
+		XLabel: "vectors",
+		YLabel: "execution seconds",
+	}
+	variants := []struct {
+		name string
+		cc   gowarp.CancellationConfig
+	}{
+		{"AC", ac()}, {"LC", lc()}, {"DC", dc()}, {"PS64", ps(64)}, {"PA10", pa10()},
+	}
+	for vi := range variants {
+		fig.Series = append(fig.Series, Series{Name: variants[vi].name})
+	}
+	for _, vectors := range []int{2000, 5000, 10000} {
+		for vi, v := range variants {
+			m, cfg := tb.smmp(vectors)
+			cfg.Cancellation = v.cc
+			row, err := tb.run(m, cfg)
+			if err != nil {
+				return fig, fmt.Errorf("fig7/%s/%d: %w", v.name, vectors, err)
+			}
+			row.Label = v.name
+			row.X = float64(vectors)
+			fig.Series[vi].Rows = append(fig.Series[vi].Rows, row)
+		}
+	}
+	return fig, nil
+}
+
+// dymaAges is the aggregate-age sweep of Figures 8 and 9 (log spaced; our
+// testbed's microsecond..tens-of-milliseconds range plays the role of the
+// paper's 1..1000 axis — the interesting region is set by each model's
+// physical-message inter-arrival time per LP pair).
+var dymaAges = []time.Duration{
+	10 * time.Microsecond,
+	30 * time.Microsecond,
+	100 * time.Microsecond,
+	300 * time.Microsecond,
+	1 * time.Millisecond,
+	3 * time.Millisecond,
+	10 * time.Millisecond,
+	30 * time.Millisecond,
+}
+
+// dyma runs one DyMA figure (execution time versus aggregate age) for the
+// given model constructor.
+func (tb Testbed) dyma(name, title string, mk func() (*gowarp.Model, gowarp.Config)) (Figure, error) {
+	fig := Figure{
+		Name:   name,
+		Title:  title,
+		XLabel: "age(us)",
+		YLabel: "execution seconds",
+	}
+	faw := Series{Name: "FAW"}
+	saaw := Series{Name: "SAAW"}
+	unagg := Series{Name: "Unaggregated"}
+
+	// The unaggregated baseline is age-independent; measure once and
+	// replicate across the sweep, as the paper's flat line does.
+	m, cfg := mk()
+	cfg.Aggregation = gowarp.AggregationConfig{Policy: gowarp.NoAggregation}
+	base, err := tb.run(m, cfg)
+	if err != nil {
+		return fig, fmt.Errorf("%s/unaggregated: %w", name, err)
+	}
+
+	for _, age := range dymaAges {
+		x := float64(age) / float64(time.Microsecond)
+		for _, pol := range []struct {
+			s      *Series
+			policy gowarp.AggregationConfig
+		}{
+			{&faw, gowarp.AggregationConfig{Policy: gowarp.FAW, Window: age}},
+			{&saaw, gowarp.AggregationConfig{Policy: gowarp.SAAW, Window: age}},
+		} {
+			m, cfg := mk()
+			cfg.Aggregation = pol.policy
+			row, err := tb.run(m, cfg)
+			if err != nil {
+				return fig, fmt.Errorf("%s/%s/%s: %w", name, pol.s.Name, age, err)
+			}
+			row.Label = pol.s.Name
+			row.X = x
+			pol.s.Rows = append(pol.s.Rows, row)
+		}
+		b := base
+		b.Label = "Unaggregated"
+		b.X = x
+		unagg.Rows = append(unagg.Rows, b)
+	}
+	fig.Series = []Series{faw, saaw, unagg}
+	return fig, nil
+}
+
+// Fig8 reproduces Figure 8: SMMP execution time versus aggregate age for
+// FAW, SAAW and the unaggregated kernel.
+func (tb Testbed) Fig8() (Figure, error) {
+	return tb.dyma("fig8", "SMMP DyMA: execution time vs aggregate age (Fig. 8)",
+		func() (*gowarp.Model, gowarp.Config) { return tb.smmp(2000) })
+}
+
+// Fig9 reproduces Figure 9: RAID execution time versus aggregate age.
+func (tb Testbed) Fig9() (Figure, error) {
+	return tb.dyma("fig9", "RAID DyMA: execution time vs aggregate age (Fig. 9)",
+		func() (*gowarp.Model, gowarp.Config) { return tb.raid(500) })
+}

@@ -1,0 +1,133 @@
+// Package model defines the application programming interface between
+// simulation models and the Time Warp kernel: simulation objects, their
+// saveable state, and the context through which an executing event schedules
+// further events. The kernel performs all Time Warp specific activity —
+// state saving, rollback, cancellation, GVT — without intervention from the
+// model, mirroring the WARPED kernel's API philosophy.
+package model
+
+import (
+	"gowarp/internal/event"
+	"gowarp/internal/vtime"
+)
+
+// State is a simulation object's saveable state. The kernel checkpoints
+// state by calling Clone, and restores it on rollback by handing a clone of
+// a saved snapshot back to the object; Clone must therefore produce a deep
+// copy of everything the object's Execute method mutates. Any randomness the
+// object consumes must live inside the state (see Rand) or rollbacks would
+// not reproduce the pre-rollback event outputs.
+type State interface {
+	Clone() State
+}
+
+// Context is the kernel-provided handle an object uses while executing an
+// event. A Context is only valid for the duration of the Execute or Init
+// call it was passed to.
+type Context interface {
+	// Self returns the executing object's global ID.
+	Self() event.ObjectID
+	// Now returns the object's current local virtual time (the receive
+	// time of the executing event; vtime.Zero during Init).
+	Now() vtime.Time
+	// Send schedules an event for the object named to at virtual time
+	// Now()+delay. The delay must be positive for events sent to self and
+	// non-negative otherwise; the kernel enforces causality. The payload is
+	// owned by the kernel after the call and must not be mutated.
+	Send(to event.ObjectID, delay vtime.Time, kind uint32, payload []byte)
+	// EndTime returns the virtual time at which the simulation stops;
+	// events scheduled past it are silently dropped at commit.
+	EndTime() vtime.Time
+}
+
+// Object is a simulation object (the "physical process" of Figure 1 plus its
+// identity). Objects are passive: the kernel owns the event and history
+// queues and calls into the object to initialize and to execute events.
+// Execute must be deterministic given (state, event) — Time Warp re-executes
+// events during coast forward and after rollbacks and relies on identical
+// behaviour each time.
+type Object interface {
+	// Name returns a unique, human-readable object name.
+	Name() string
+	// InitialState returns the object's state at virtual time zero.
+	InitialState() State
+	// Init runs once at simulation start; it typically seeds the event
+	// flow by scheduling the object's first events.
+	Init(ctx Context, st State)
+	// Execute processes one event, mutating st and scheduling any
+	// consequent events through ctx.
+	Execute(ctx Context, st State, ev *event.Event)
+}
+
+// Partition maps every object (by dense index in the registered object list)
+// to a logical process. Models provide a partition so related objects share
+// an LP and its cheap intra-LP communication, as the paper's model
+// generators do.
+type Partition []int
+
+// Model is a complete simulation application: the objects plus their
+// assignment to logical processes.
+type Model struct {
+	Objects   []Object
+	Partition Partition
+	// Name identifies the model in reports.
+	Name string
+}
+
+// NumLPs returns the number of logical processes the partition uses
+// (max index + 1), or 1 for an empty partition.
+func (m *Model) NumLPs() int {
+	n := 0
+	for _, p := range m.Partition {
+		if p+1 > n {
+			n = p + 1
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Validate checks structural sanity: one partition entry per object, LP
+// indices dense and non-negative, unique object names.
+func (m *Model) Validate() error {
+	if len(m.Objects) == 0 {
+		return errEmpty
+	}
+	if len(m.Partition) != len(m.Objects) {
+		return errPartitionSize
+	}
+	used := make([]bool, m.NumLPs())
+	for _, p := range m.Partition {
+		if p < 0 {
+			return errLPIndex
+		}
+		used[p] = true
+	}
+	for _, u := range used {
+		if !u {
+			return errLPGap
+		}
+	}
+	names := make(map[string]bool, len(m.Objects))
+	for _, o := range m.Objects {
+		if names[o.Name()] {
+			return errDupName
+		}
+		names[o.Name()] = true
+	}
+	return nil
+}
+
+type modelError string
+
+func (e modelError) Error() string { return string(e) }
+
+const (
+	errEmpty         = modelError("model: no objects")
+	errPartitionSize = modelError("model: partition length != object count")
+	errLPIndex       = modelError("model: negative LP index in partition")
+	errLPGap         = modelError("model: partition leaves an LP with no objects")
+	errDupName       = modelError("model: duplicate object name")
+)

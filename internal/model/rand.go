@@ -1,0 +1,60 @@
+package model
+
+import "math"
+
+// Rand is a small, fast, deterministic pseudo-random generator (xorshift64*)
+// designed to live inside simulation object state. Because it is a plain
+// value, State.Clone copies it implicitly, so a rollback restores the random
+// stream along with the rest of the state and re-execution reproduces the
+// original draws — a property Time Warp correctness depends on and that
+// math/rand's pointer-shaped generators make easy to get wrong.
+type Rand struct {
+	s uint64
+}
+
+// NewRand returns a generator seeded from seed; a zero seed is remapped to a
+// fixed non-zero constant because xorshift has an all-zeros fixed point.
+func NewRand(seed uint64) Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return Rand{s: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a pseudo-random number in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a pseudo-random number in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("model.Rand.Intn: n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns a pseudo-random draw from an exponential distribution with the
+// given mean, rounded up to at least 1, handy for virtual-time delays.
+func (r *Rand) Exp(mean float64) int64 {
+	u := r.Float64()
+	// Inverse transform; clamp u away from 0 to avoid +Inf.
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	d := -mean * math.Log(u)
+	if d < 1 {
+		return 1
+	}
+	return int64(d)
+}

@@ -1,0 +1,316 @@
+// Package partition builds assignments of simulation objects onto logical
+// processes. The paper observes that "the optimal strategy is sensitive to
+// the partitioning scheme" and that its model generators "partition the
+// model to take advantage of the fast intra-LP communication"; this package
+// provides the standard schemes — block, round-robin, and a
+// communication-aware greedy partitioner with boundary refinement — over an
+// explicit weighted object graph, so models (and users bringing their own)
+// can make that choice deliberately.
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a weighted, undirected communication graph over n objects: edge
+// weights estimate how often two objects exchange events, vertex weights
+// estimate per-object computational load.
+type Graph struct {
+	n      int
+	vertex []float64
+	// edges holds the adjacency as flattened (peer, weight) lists.
+	adj []map[int]float64
+}
+
+// NewGraph returns a graph over n objects with unit vertex weights.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, vertex: make([]float64, n), adj: make([]map[int]float64, n)}
+	for i := range g.vertex {
+		g.vertex[i] = 1
+		g.adj[i] = make(map[int]float64)
+	}
+	return g
+}
+
+// Len returns the number of objects.
+func (g *Graph) Len() int { return g.n }
+
+// SetVertexWeight sets object i's load estimate (default 1).
+func (g *Graph) SetVertexWeight(i int, w float64) { g.vertex[i] = w }
+
+// AddEdge accumulates communication weight between objects a and b.
+// Self-edges are ignored (intra-object traffic never crosses LPs).
+func (g *Graph) AddEdge(a, b int, w float64) {
+	if a == b || w <= 0 {
+		return
+	}
+	g.adj[a][b] += w
+	g.adj[b][a] += w
+}
+
+// EdgeWeight returns the accumulated weight between a and b.
+func (g *Graph) EdgeWeight(a, b int) float64 { return g.adj[a][b] }
+
+// CutWeight returns the total weight of edges crossing the partition — the
+// inter-LP communication the assignment would incur.
+func (g *Graph) CutWeight(part []int) float64 {
+	var cut float64
+	for a, peers := range g.adj {
+		for b, w := range peers {
+			if a < b && part[a] != part[b] {
+				cut += w
+			}
+		}
+	}
+	return cut
+}
+
+// LoadImbalance returns max LP load divided by mean LP load (1.0 = perfect).
+func (g *Graph) LoadImbalance(part []int, lps int) float64 {
+	if lps < 1 {
+		return 1
+	}
+	loads := make([]float64, lps)
+	var total float64
+	for i, p := range part {
+		loads[p] += g.vertex[i]
+		total += g.vertex[i]
+	}
+	mean := total / float64(lps)
+	if mean == 0 {
+		return 1
+	}
+	max := 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max / mean
+}
+
+// Block assigns objects to LPs in contiguous index ranges (the scheme the
+// bundled model generators use for pipeline-shaped models).
+func Block(n, lps int) []int {
+	part := make([]int, n)
+	for i := range part {
+		part[i] = i * lps / n
+	}
+	return part
+}
+
+// RoundRobin cycles objects across LPs.
+func RoundRobin(n, lps int) []int {
+	part := make([]int, n)
+	for i := range part {
+		part[i] = i % lps
+	}
+	return part
+}
+
+// Greedy builds a communication-aware partition: objects are seeded onto
+// LPs in descending connectivity order, each placed on the LP where it has
+// the most accumulated affinity (edge weight to already-placed objects),
+// subject to a load cap; a boundary-refinement pass then moves objects whose
+// external affinity exceeds their internal affinity when the move does not
+// violate balance. The result keeps chatty neighbourhoods on one LP — the
+// property the paper's generators hand-craft.
+func Greedy(g *Graph, lps int) []int {
+	n := g.Len()
+	if lps < 1 {
+		lps = 1
+	}
+	if lps > n {
+		lps = n
+	}
+	part := make([]int, n)
+	for i := range part {
+		part[i] = -1
+	}
+
+	var total float64
+	for _, w := range g.vertex {
+		total += w
+	}
+	cap := total / float64(lps) * 1.10 // allow 10% imbalance
+	loads := make([]float64, lps)
+
+	// Order objects by total incident weight, heaviest first, index tie-break.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	strength := make([]float64, n)
+	for i, peers := range g.adj {
+		for _, w := range peers {
+			strength[i] += w
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if strength[order[a]] != strength[order[b]] {
+			return strength[order[a]] > strength[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	affinity := make([]float64, lps)
+	for _, v := range order {
+		for p := range affinity {
+			affinity[p] = 0
+		}
+		for peer, w := range g.adj[v] {
+			if part[peer] >= 0 {
+				affinity[part[peer]] += w
+			}
+		}
+		best, bestScore := -1, -1.0
+		for p := 0; p < lps; p++ {
+			if loads[p]+g.vertex[v] > cap {
+				continue
+			}
+			// Prefer affinity; break ties toward the lightest LP.
+			score := affinity[p] - loads[p]*1e-9
+			if best == -1 || score > bestScore {
+				best, bestScore = p, score
+			}
+		}
+		if best == -1 { // every LP at cap: take the lightest
+			best = lightest(loads)
+		}
+		part[v] = best
+		loads[best] += g.vertex[v]
+	}
+
+	refine(g, part, loads, cap, lps)
+	compact(part, lps)
+	return part
+}
+
+// refine runs bounded boundary-improvement sweeps: single moves where the
+// load cap allows, and Kernighan–Lin-style pairwise swaps where it does not
+// (at perfect balance every beneficial single move violates the cap, so
+// swaps are what actually untangle mis-seeded neighbourhoods).
+func refine(g *Graph, part []int, loads []float64, cap float64, lps int) {
+	// gains[v][p] = external affinity of v toward LP p; gains[v][part[v]]
+	// holds v's internal affinity.
+	aff := func(v int) []float64 {
+		a := make([]float64, lps)
+		for peer, w := range g.adj[v] {
+			a[part[peer]] += w
+		}
+		return a
+	}
+	for sweep := 0; sweep < 6; sweep++ {
+		improved := false
+
+		// Pass 1: single moves within the balance cap.
+		for v := 0; v < g.Len(); v++ {
+			cur := part[v]
+			a := aff(v)
+			best, bestGain := cur, 1e-12
+			for p := 0; p < lps; p++ {
+				if p == cur {
+					continue
+				}
+				if gain := a[p] - a[cur]; gain > bestGain && loads[p]+g.vertex[v] <= cap {
+					best, bestGain = p, gain
+				}
+			}
+			if best != cur {
+				loads[cur] -= g.vertex[v]
+				loads[best] += g.vertex[v]
+				part[v] = best
+				improved = true
+			}
+		}
+
+		// Pass 2: pairwise swaps (balance-neutral for equal weights).
+		for v := 0; v < g.Len(); v++ {
+			av := aff(v)
+			cv := part[v]
+			for u := v + 1; u < g.Len(); u++ {
+				cu := part[u]
+				if cu == cv {
+					continue
+				}
+				// Swapping must keep both LPs within the cap.
+				dv, du := g.vertex[v], g.vertex[u]
+				if loads[cv]-dv+du > cap || loads[cu]-du+dv > cap {
+					continue
+				}
+				au := aff(u)
+				// Classic KL gain: improvements of both endpoints, minus
+				// twice the edge between them (it stays cut either way).
+				gain := (av[cu] - av[cv]) + (au[cv] - au[cu]) - 2*g.adj[v][u]
+				if gain > 1e-12 {
+					part[v], part[u] = cu, cv
+					loads[cv] += du - dv
+					loads[cu] += dv - du
+					improved = true
+					av = aff(v)
+					cv = part[v]
+				}
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+func lightest(loads []float64) int {
+	best := 0
+	for p, l := range loads {
+		if l < loads[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// compact renumbers LPs densely (a refinement pass can empty an LP, and the
+// kernel requires every LP index to host at least one object).
+func compact(part []int, lps int) {
+	used := make([]bool, lps)
+	for _, p := range part {
+		used[p] = true
+	}
+	remap := make([]int, lps)
+	next := 0
+	for p := 0; p < lps; p++ {
+		if used[p] {
+			remap[p] = next
+			next++
+		}
+	}
+	for i, p := range part {
+		part[i] = remap[p]
+	}
+}
+
+// Validate checks that part maps n objects onto dense LP indices.
+func Validate(part []int, n int) error {
+	if len(part) != n {
+		return fmt.Errorf("partition: length %d, want %d", len(part), n)
+	}
+	max := 0
+	for i, p := range part {
+		if p < 0 {
+			return fmt.Errorf("partition: object %d has negative LP %d", i, p)
+		}
+		if p > max {
+			max = p
+		}
+	}
+	seen := make([]bool, max+1)
+	for _, p := range part {
+		seen[p] = true
+	}
+	for p, ok := range seen {
+		if !ok {
+			return fmt.Errorf("partition: LP %d hosts no objects", p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBlockAndRoundRobin(t *testing.T) {
+	b := Block(8, 2)
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("Block = %v", b)
+		}
+	}
+	r := RoundRobin(5, 2)
+	wantR := []int{0, 1, 0, 1, 0}
+	for i := range wantR {
+		if r[i] != wantR[i] {
+			t.Fatalf("RoundRobin = %v", r)
+		}
+	}
+	if err := Validate(b, 8); err != nil {
+		t.Error(err)
+	}
+	if err := Validate(r, 5); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCutWeight(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(2, 3, 10)
+	g.AddEdge(1, 2, 1)
+	if got := g.CutWeight([]int{0, 0, 1, 1}); got != 1 {
+		t.Errorf("cut = %g, want 1", got)
+	}
+	if got := g.CutWeight([]int{0, 1, 0, 1}); got != 21 {
+		t.Errorf("cut = %g, want 21", got)
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	g := NewGraph(4)
+	if got := g.LoadImbalance([]int{0, 0, 1, 1}, 2); got != 1 {
+		t.Errorf("balanced imbalance = %g", got)
+	}
+	if got := g.LoadImbalance([]int{0, 0, 0, 1}, 2); got != 1.5 {
+		t.Errorf("3-1 imbalance = %g, want 1.5", got)
+	}
+}
+
+// TestGreedyKeepsCliquesTogether: two dense cliques joined by one weak edge
+// must land on separate LPs with zero heavy edges cut.
+func TestGreedyKeepsCliquesTogether(t *testing.T) {
+	g := NewGraph(8)
+	clique := func(members []int) {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				g.AddEdge(members[i], members[j], 10)
+			}
+		}
+	}
+	clique([]int{0, 1, 2, 3})
+	clique([]int{4, 5, 6, 7})
+	g.AddEdge(3, 4, 0.5)
+
+	part := Greedy(g, 2)
+	if err := Validate(part, 8); err != nil {
+		t.Fatal(err)
+	}
+	if cut := g.CutWeight(part); cut > 0.5 {
+		t.Errorf("greedy cut = %g, want only the weak bridge (0.5); part=%v", cut, part)
+	}
+	if imb := g.LoadImbalance(part, 2); imb > 1.01 {
+		t.Errorf("imbalance = %g", imb)
+	}
+}
+
+func TestGreedyBeatsRoundRobinOnClustered(t *testing.T) {
+	// Ten-object clusters laid out contiguously: Block is the optimal
+	// partition, RoundRobin shreds every cluster. Greedy must land near
+	// Block's cut and far below RoundRobin's.
+	r := rand.New(rand.NewSource(5))
+	const n, lps, clusterSize = 40, 4, 10
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := 0.1
+			if i/clusterSize == j/clusterSize {
+				w = 5 + r.Float64()
+			}
+			g.AddEdge(i, j, w)
+		}
+	}
+	greedy := Greedy(g, lps)
+	if err := Validate(greedy, n); err != nil {
+		t.Fatal(err)
+	}
+	gc := g.CutWeight(greedy)
+	bc := g.CutWeight(Block(n, lps))
+	rc := g.CutWeight(RoundRobin(n, lps))
+	if gc >= rc {
+		t.Errorf("greedy cut %g not better than round-robin cut %g", gc, rc)
+	}
+	if gc > bc*1.05 {
+		t.Errorf("greedy cut %g far from the optimal block cut %g", gc, bc)
+	}
+}
+
+func TestGreedyRespectsBalanceUnderSkewedLoads(t *testing.T) {
+	g := NewGraph(10)
+	// One very heavy object plus light ones, all loosely connected.
+	g.SetVertexWeight(0, 8)
+	for i := 1; i < 10; i++ {
+		g.AddEdge(0, i, 1)
+	}
+	part := Greedy(g, 2)
+	if err := Validate(part, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy object's LP must not also receive everything else.
+	if imb := g.LoadImbalance(part, 2); imb > 1.3 {
+		t.Errorf("imbalance = %g", imb)
+	}
+}
+
+func TestGreedyDegenerateCases(t *testing.T) {
+	g := NewGraph(3)
+	// More LPs than objects: clamps to n.
+	part := Greedy(g, 10)
+	if err := Validate(part, 3); err != nil {
+		t.Fatal(err)
+	}
+	// One LP: everything on LP 0.
+	part = Greedy(g, 1)
+	for _, p := range part {
+		if p != 0 {
+			t.Fatal("single-LP partition broken")
+		}
+	}
+	// Zero LPs clamps to one.
+	part = Greedy(g, 0)
+	if err := Validate(part, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfEdgesIgnored(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(1, 1, 100)
+	g.AddEdge(0, 1, -5)
+	if g.EdgeWeight(1, 1) != 0 || g.EdgeWeight(0, 1) != 0 {
+		t.Error("self edges and non-positive weights must be ignored")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]int{0, 1}, 3); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := Validate([]int{0, -1}, 2); err == nil {
+		t.Error("negative LP accepted")
+	}
+	if err := Validate([]int{0, 2}, 2); err == nil {
+		t.Error("LP gap accepted")
+	}
+	if err := Validate([]int{1, 0}, 2); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+}

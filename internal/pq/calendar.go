@@ -1,0 +1,233 @@
+package pq
+
+import (
+	"gowarp/internal/event"
+	"gowarp/internal/vtime"
+)
+
+// CalendarSet is a PendingSet backed by a calendar queue (R. Brown, CACM
+// 1988): events hash by timestamp into "days" (buckets) of a circular
+// "year"; dequeueing walks the current day forward. Calendar queues give
+// amortized O(1) enqueue/dequeue when the bucket width matches the event
+// inter-arrival spacing, which the structure maintains by resizing as the
+// population grows and shrinks. Removal by identity — the operation Time
+// Warp annihilation needs — is supported with a location index.
+type CalendarSet struct {
+	buckets [][]*event.Event
+	width   vtime.Time // virtual-time span of one bucket
+	// cur is the bucket being drained; curStart/curEnd bound its span in
+	// the current year.
+	cur              int
+	curStart, curEnd vtime.Time
+	count            int
+	// where locates each event for Remove: bucket index.
+	where map[Identity]int
+
+	resizeUp, resizeDown int // thresholds
+}
+
+// NewCalendarSet returns an empty calendar queue.
+func NewCalendarSet() *CalendarSet {
+	c := &CalendarSet{where: make(map[Identity]int)}
+	c.rebuild(2, 1, vtime.Zero)
+	return c
+}
+
+// Len returns the number of events held.
+func (c *CalendarSet) Len() int { return c.count }
+
+// rebuild resizes to nb buckets of the given width, starting the dequeue
+// scan at the bucket containing start.
+func (c *CalendarSet) rebuild(nb int, width vtime.Time, start vtime.Time) {
+	if width < 1 {
+		width = 1
+	}
+	old := c.buckets
+	c.buckets = make([][]*event.Event, nb)
+	c.width = width
+	c.count = 0
+	for k := range c.where {
+		delete(c.where, k)
+	}
+	c.resizeUp = 2 * nb
+	c.resizeDown = nb/2 - 2
+	c.setCursor(start)
+	for _, b := range old {
+		for _, e := range b {
+			c.place(e)
+		}
+	}
+}
+
+// setCursor positions the dequeue scan at the bucket containing t.
+func (c *CalendarSet) setCursor(t vtime.Time) {
+	if t < 0 {
+		t = 0
+	}
+	day := t / c.width
+	c.cur = int(day) % len(c.buckets)
+	c.curStart = day * c.width
+	c.curEnd = c.curStart + c.width
+}
+
+// bucketOf returns the bucket index for receive time t.
+func (c *CalendarSet) bucketOf(t vtime.Time) int {
+	if t < 0 {
+		t = 0
+	}
+	return int(t/c.width) % len(c.buckets)
+}
+
+// place inserts without resize checks.
+func (c *CalendarSet) place(e *event.Event) {
+	b := c.bucketOf(e.RecvTime)
+	c.buckets[b] = append(c.buckets[b], e)
+	c.where[IdentityOf(e)] = b
+	c.count++
+}
+
+// Push inserts e.
+func (c *CalendarSet) Push(e *event.Event) {
+	c.place(e)
+	if e.RecvTime < c.curStart {
+		// An insertion into the past (a straggler being requeued): pull
+		// the scan cursor back so PopMin finds it.
+		c.setCursor(e.RecvTime)
+	}
+	if c.count > c.resizeUp {
+		c.resize()
+	}
+}
+
+// resize re-tunes bucket count and width to the current population. Width is
+// estimated from the span of a sample of events around the minimum, the
+// classic heuristic simplified: average spacing of the sampled events.
+func (c *CalendarSet) resize() {
+	nb := len(c.buckets) * 2
+	if c.count < c.resizeDown {
+		nb = len(c.buckets) / 2
+	}
+	if nb < 2 {
+		nb = 2
+	}
+	// Sample up to 64 events to estimate spacing.
+	var min, max vtime.Time
+	n := 0
+	min, max = vtime.PosInf, vtime.NegInf
+	for _, b := range c.buckets {
+		for _, e := range b {
+			if e.RecvTime < min {
+				min = e.RecvTime
+			}
+			if e.RecvTime > max {
+				max = e.RecvTime
+			}
+			n++
+			if n >= 64 {
+				break
+			}
+		}
+		if n >= 64 {
+			break
+		}
+	}
+	width := vtime.Time(1)
+	if n > 1 && max > min {
+		width = (max - min) / vtime.Time(n)
+		if width < 1 {
+			width = 1
+		}
+	}
+	start := vtime.Zero
+	if e := c.PeekMin(); e != nil {
+		start = e.RecvTime
+	}
+	c.rebuild(nb, width, start)
+}
+
+// PeekMin returns the least event without removing it, or nil if empty.
+func (c *CalendarSet) PeekMin() *event.Event {
+	if c.count == 0 {
+		return nil
+	}
+	// Scan from the cursor, one full year at most; if a year passes with
+	// nothing in-window, fall back to a direct minimum search (sparse
+	// far-future events).
+	cur, start, end := c.cur, c.curStart, c.curEnd
+	for range c.buckets {
+		var best *event.Event
+		for _, e := range c.buckets[cur] {
+			if e.RecvTime < end && (best == nil || event.Less(e, best)) {
+				best = e
+			}
+		}
+		if best != nil {
+			// Commit the advanced cursor so the next scan is O(1)-ish.
+			c.cur, c.curStart, c.curEnd = cur, start, end
+			return best
+		}
+		cur = (cur + 1) % len(c.buckets)
+		start = end
+		end += c.width
+	}
+	return c.directMin()
+}
+
+// directMin finds the global minimum by exhaustive scan and repositions the
+// cursor there.
+func (c *CalendarSet) directMin() *event.Event {
+	var best *event.Event
+	for _, b := range c.buckets {
+		for _, e := range b {
+			if best == nil || event.Less(e, best) {
+				best = e
+			}
+		}
+	}
+	if best != nil {
+		c.setCursor(best.RecvTime)
+	}
+	return best
+}
+
+// PopMin removes and returns the least event, or nil if empty.
+func (c *CalendarSet) PopMin() *event.Event {
+	e := c.PeekMin()
+	if e == nil {
+		return nil
+	}
+	c.removeFromBucket(e, c.where[IdentityOf(e)])
+	if c.count < c.resizeDown {
+		c.resize()
+	}
+	return e
+}
+
+// Remove removes and returns the event with identity id, or nil if absent.
+func (c *CalendarSet) Remove(id Identity) *event.Event {
+	b, ok := c.where[id]
+	if !ok {
+		return nil
+	}
+	for _, e := range c.buckets[b] {
+		if IdentityOf(e) == id {
+			c.removeFromBucket(e, b)
+			return e
+		}
+	}
+	return nil
+}
+
+func (c *CalendarSet) removeFromBucket(e *event.Event, b int) {
+	bucket := c.buckets[b]
+	for i, x := range bucket {
+		if x == e {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket[len(bucket)-1] = nil
+			c.buckets[b] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	delete(c.where, IdentityOf(e))
+	c.count--
+}

@@ -1,0 +1,86 @@
+package pq
+
+import (
+	"testing"
+
+	"gowarp/internal/event"
+	"gowarp/internal/vtime"
+)
+
+// FuzzPendingSets interprets the fuzz input as an operation tape (op, time
+// pairs) driven against all three implementations simultaneously; they must
+// agree with each other at every step. Push/PopMin/Remove/PeekMin plus Len.
+func FuzzPendingSets(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 5, 1, 0, 2, 0})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0})
+
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		sets := []PendingSet{NewHeapSet(), NewSplaySet(), NewCalendarSet()}
+		nextID := uint64(0)
+		var live []Identity
+
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i]%3, tape[i+1]
+			switch op {
+			case 0: // push
+				e := mkEvent(vtime.Time(arg), 0, nextID)
+				nextID++
+				live = append(live, IdentityOf(e))
+				for _, s := range sets {
+					s.Push(e)
+				}
+			case 1: // pop min
+				ref := sets[0].PopMin()
+				for _, s := range sets[1:] {
+					got := s.PopMin()
+					if (ref == nil) != (got == nil) {
+						t.Fatalf("pop presence mismatch")
+					}
+					if ref != nil && event.Compare(ref, got) != 0 {
+						t.Fatalf("pop key mismatch: %v vs %v", ref, got)
+					}
+				}
+				if ref != nil {
+					removeID(&live, IdentityOf(ref))
+				}
+			case 2: // remove by identity
+				if len(live) == 0 {
+					continue
+				}
+				id := live[int(arg)%len(live)]
+				ref := sets[0].Remove(id)
+				for _, s := range sets[1:] {
+					got := s.Remove(id)
+					if (ref == nil) != (got == nil) {
+						t.Fatalf("remove presence mismatch for %v", id)
+					}
+				}
+				if ref != nil {
+					removeID(&live, id)
+				}
+			}
+			for _, s := range sets[1:] {
+				if s.Len() != sets[0].Len() {
+					t.Fatalf("len mismatch: %d vs %d", s.Len(), sets[0].Len())
+				}
+			}
+			a := sets[0].PeekMin()
+			for _, s := range sets[1:] {
+				b := s.PeekMin()
+				if (a == nil) != (b == nil) || (a != nil && event.Compare(a, b) != 0) {
+					t.Fatalf("peek mismatch: %v vs %v", a, b)
+				}
+			}
+		}
+	})
+}
+
+func removeID(live *[]Identity, id Identity) {
+	for i, x := range *live {
+		if x == id {
+			(*live)[i] = (*live)[len(*live)-1]
+			*live = (*live)[:len(*live)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package pq
+
+import "gowarp/internal/event"
+
+// HeapSet is a PendingSet backed by an index-tracked binary min-heap plus an
+// identity index, giving O(log n) Push/PopMin and O(log n) removal by
+// identity (the operation annihilation needs).
+type HeapSet struct {
+	items []*event.Event
+	// pos maps an event's identity to its index in items. Because a
+	// PendingSet never holds two events with the same identity, the map is
+	// a bijection onto the heap slots.
+	pos map[Identity]int
+}
+
+// NewHeapSet returns an empty HeapSet.
+func NewHeapSet() *HeapSet {
+	return &HeapSet{pos: make(map[Identity]int)}
+}
+
+// Len returns the number of events held.
+func (h *HeapSet) Len() int { return len(h.items) }
+
+// Push inserts e.
+func (h *HeapSet) Push(e *event.Event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	h.pos[IdentityOf(e)] = i
+	h.up(i)
+}
+
+// PeekMin returns the least event without removing it, or nil if empty.
+func (h *HeapSet) PeekMin() *event.Event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+// PopMin removes and returns the least event, or nil if empty.
+func (h *HeapSet) PopMin() *event.Event {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.removeAt(0)
+}
+
+// Remove removes and returns the event with identity id, or nil if absent.
+func (h *HeapSet) Remove(id Identity) *event.Event {
+	i, ok := h.pos[id]
+	if !ok {
+		return nil
+	}
+	return h.removeAt(i)
+}
+
+func (h *HeapSet) removeAt(i int) *event.Event {
+	e := h.items[i]
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items[last] = nil
+	h.items = h.items[:last]
+	delete(h.pos, IdentityOf(e))
+	if i < last {
+		// The element moved into slot i may need to travel either way.
+		h.down(i)
+		h.up(i)
+	}
+	return e
+}
+
+func (h *HeapSet) less(i, j int) bool { return event.Less(h.items[i], h.items[j]) }
+
+func (h *HeapSet) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[IdentityOf(h.items[i])] = i
+	h.pos[IdentityOf(h.items[j])] = j
+}
+
+func (h *HeapSet) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *HeapSet) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h.less(l, least) {
+			least = l
+		}
+		if r < n && h.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}

@@ -1,0 +1,106 @@
+package pq
+
+import "gowarp/internal/vtime"
+
+// ScheduleHeap orders the simulation objects hosted by one logical process by
+// the receive time of their next unprocessed event, so the LP scheduler can
+// pick the lowest-timestamped object in O(log n). Objects are identified by a
+// dense slot index assigned by the LP; an object with no pending work carries
+// key vtime.PosInf and simply sinks to the bottom rather than being removed,
+// which keeps Update O(log n) with no membership bookkeeping.
+type ScheduleHeap struct {
+	keys  []vtime.Time // key per slot index
+	order []int        // heap of slot indices
+	pos   []int        // slot index -> position in order
+}
+
+// NewScheduleHeap returns a heap over n object slots, all initially at
+// vtime.PosInf (nothing schedulable).
+func NewScheduleHeap(n int) *ScheduleHeap {
+	h := &ScheduleHeap{
+		keys:  make([]vtime.Time, n),
+		order: make([]int, n),
+		pos:   make([]int, n),
+	}
+	for i := range h.keys {
+		h.keys[i] = vtime.PosInf
+		h.order[i] = i
+		h.pos[i] = i
+	}
+	return h
+}
+
+// Len returns the number of object slots.
+func (h *ScheduleHeap) Len() int { return len(h.order) }
+
+// Key returns the current key of slot i.
+func (h *ScheduleHeap) Key(i int) vtime.Time { return h.keys[i] }
+
+// Update sets slot i's key to t and restores heap order.
+func (h *ScheduleHeap) Update(i int, t vtime.Time) {
+	old := h.keys[i]
+	if old == t {
+		return
+	}
+	h.keys[i] = t
+	p := h.pos[i]
+	if t < old {
+		h.up(p)
+	} else {
+		h.down(p)
+	}
+}
+
+// Min returns the slot index with the least key and that key. When every
+// slot is at vtime.PosInf the LP has nothing to execute.
+func (h *ScheduleHeap) Min() (slot int, t vtime.Time) {
+	if len(h.order) == 0 {
+		return -1, vtime.PosInf
+	}
+	s := h.order[0]
+	return s, h.keys[s]
+}
+
+func (h *ScheduleHeap) less(i, j int) bool {
+	a, b := h.order[i], h.order[j]
+	if h.keys[a] != h.keys[b] {
+		return h.keys[a] < h.keys[b]
+	}
+	return a < b // deterministic tie-break by slot index
+}
+
+func (h *ScheduleHeap) swap(i, j int) {
+	h.order[i], h.order[j] = h.order[j], h.order[i]
+	h.pos[h.order[i]] = i
+	h.pos[h.order[j]] = j
+}
+
+func (h *ScheduleHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *ScheduleHeap) down(i int) {
+	n := len(h.order)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h.less(l, least) {
+			least = l
+		}
+		if r < n && h.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}

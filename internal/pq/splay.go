@@ -1,0 +1,180 @@
+package pq
+
+import "gowarp/internal/event"
+
+// SplaySet is a PendingSet backed by a splay tree with parent pointers and an
+// identity index. Splay trees are the classic pending-event-set structure in
+// Time Warp kernels (warped, GTW): access patterns are strongly skewed toward
+// the minimum, which splaying exploits with amortized O(log n) operations and
+// O(1)-ish repeated minimum access.
+type SplaySet struct {
+	root  *splayNode
+	count int
+	// leftmost caches the minimum node so PeekMin is O(1) between updates.
+	leftmost *splayNode
+	nodes    map[Identity]*splayNode
+}
+
+type splayNode struct {
+	ev                  *event.Event
+	left, right, parent *splayNode
+}
+
+// NewSplaySet returns an empty SplaySet.
+func NewSplaySet() *SplaySet {
+	return &SplaySet{nodes: make(map[Identity]*splayNode)}
+}
+
+// Len returns the number of events held.
+func (s *SplaySet) Len() int { return s.count }
+
+// Push inserts e.
+func (s *SplaySet) Push(e *event.Event) {
+	n := &splayNode{ev: e}
+	s.nodes[IdentityOf(e)] = n
+	s.count++
+	if s.root == nil {
+		s.root = n
+		s.leftmost = n
+		return
+	}
+	cur := s.root
+	for {
+		if event.Less(e, cur.ev) {
+			if cur.left == nil {
+				cur.left = n
+				n.parent = cur
+				break
+			}
+			cur = cur.left
+		} else {
+			if cur.right == nil {
+				cur.right = n
+				n.parent = cur
+				break
+			}
+			cur = cur.right
+		}
+	}
+	if s.leftmost == nil || event.Less(e, s.leftmost.ev) {
+		s.leftmost = n
+	}
+	s.splay(n)
+}
+
+// PeekMin returns the least event without removing it, or nil if empty.
+func (s *SplaySet) PeekMin() *event.Event {
+	if s.leftmost == nil {
+		return nil
+	}
+	return s.leftmost.ev
+}
+
+// PopMin removes and returns the least event, or nil if empty.
+func (s *SplaySet) PopMin() *event.Event {
+	if s.leftmost == nil {
+		return nil
+	}
+	n := s.leftmost
+	s.removeNode(n)
+	return n.ev
+}
+
+// Remove removes and returns the event with identity id, or nil if absent.
+func (s *SplaySet) Remove(id Identity) *event.Event {
+	n, ok := s.nodes[id]
+	if !ok {
+		return nil
+	}
+	s.removeNode(n)
+	return n.ev
+}
+
+func (s *SplaySet) removeNode(n *splayNode) {
+	delete(s.nodes, IdentityOf(n.ev))
+	s.count--
+	s.splay(n) // n becomes root
+	l, r := n.left, n.right
+	if l != nil {
+		l.parent = nil
+	}
+	if r != nil {
+		r.parent = nil
+	}
+	if l == nil {
+		s.root = r
+	} else {
+		// Splay the maximum of the left subtree to its root, then hang the
+		// right subtree off it.
+		m := l
+		for m.right != nil {
+			m = m.right
+		}
+		s.splayWithin(m, &l)
+		m.right = r
+		if r != nil {
+			r.parent = m
+		}
+		s.root = m
+	}
+	if s.root == nil {
+		s.leftmost = nil
+	} else if n == s.leftmost {
+		m := s.root
+		for m.left != nil {
+			m = m.left
+		}
+		s.leftmost = m
+	}
+}
+
+// splay rotates n to the root of the whole tree.
+func (s *SplaySet) splay(n *splayNode) { s.splayWithin(n, &s.root) }
+
+// splayWithin rotates n to the root of the subtree referenced by *rootp
+// (whose current root has a nil parent).
+func (s *SplaySet) splayWithin(n *splayNode, rootp **splayNode) {
+	for n.parent != nil {
+		p := n.parent
+		g := p.parent
+		switch {
+		case g == nil: // zig
+			s.rotate(n)
+		case (g.left == p) == (p.left == n): // zig-zig
+			s.rotate(p)
+			s.rotate(n)
+		default: // zig-zag
+			s.rotate(n)
+			s.rotate(n)
+		}
+	}
+	*rootp = n
+}
+
+// rotate lifts n above its parent, preserving the in-order sequence.
+func (s *SplaySet) rotate(n *splayNode) {
+	p := n.parent
+	g := p.parent
+	if p.left == n {
+		p.left = n.right
+		if n.right != nil {
+			n.right.parent = p
+		}
+		n.right = p
+	} else {
+		p.right = n.left
+		if n.left != nil {
+			n.left.parent = p
+		}
+		n.left = p
+	}
+	p.parent = n
+	n.parent = g
+	if g != nil {
+		if g.left == p {
+			g.left = n
+		} else {
+			g.right = n
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package spin provides calibrated busy-waiting. The reproduction's
+// experimental substrate replaces the paper's SPARC-workstation CPU costs
+// (event handler execution, per-message protocol-stack overhead) with
+// explicit CPU burn at the points where the original system paid them, so
+// that the trade-offs the on-line controllers balance — state saving versus
+// coast forward, message count versus message delay — remain real wall-clock
+// trade-offs rather than abstract counters.
+package spin
+
+import "time"
+
+// Spin burns CPU for approximately d. It never sleeps or yields: the cost
+// must be charged to the calling goroutine's processor, exactly as protocol
+// processing would be. Durations at or below zero return immediately.
+// Resolution is bounded by the clock read (~tens of nanoseconds); intended
+// use is d >= 1µs.
+func Spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}

@@ -1,0 +1,29 @@
+package spin
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpinBurnsApproximately(t *testing.T) {
+	for _, d := range []time.Duration{100 * time.Microsecond, time.Millisecond} {
+		start := time.Now()
+		Spin(d)
+		elapsed := time.Since(start)
+		if elapsed < d {
+			t.Errorf("Spin(%s) returned after %s", d, elapsed)
+		}
+		if elapsed > 20*d+time.Millisecond {
+			t.Errorf("Spin(%s) took %s — far too long", d, elapsed)
+		}
+	}
+}
+
+func TestSpinNonPositive(t *testing.T) {
+	start := time.Now()
+	Spin(0)
+	Spin(-time.Second)
+	if time.Since(start) > 10*time.Millisecond {
+		t.Error("non-positive spins must return immediately")
+	}
+}

@@ -1,0 +1,263 @@
+// Package statesave implements the state-saving side of Time Warp: the state
+// queue holding an object's checkpoint history, periodic check-pointing with
+// interval χ, and the on-line checkpoint-interval controller of Section 4 of
+// the paper, described by the control tuple <Ec, χ, χ0, A, P>. The sampled
+// output Ec is the sum of state-saving and coast-forward costs over the
+// control period; the transfer function A increments χ when Ec has not grown
+// significantly and decrements it otherwise, converging on the cost minimum
+// under the paper's single-minimum assumption.
+package statesave
+
+import (
+	"time"
+
+	"gowarp/internal/control"
+	"gowarp/internal/model"
+	"gowarp/internal/vtime"
+)
+
+// Snapshot is one saved state: the object's state after processing all
+// events up to and including virtual time Time. Mark is the kernel's
+// absolute count of events the object had processed when the snapshot was
+// taken; a rollback restoring this snapshot coast-forwards exactly the
+// processed events from Mark up to the straggler. SendVT and SendSeq
+// preserve the object's send-sequence counter (the reproducible component of
+// the event total order) so re-executed sends carry the same ordering keys.
+type Snapshot struct {
+	Time    vtime.Time
+	State   model.State
+	Mark    int64
+	SendVT  vtime.Time
+	SendSeq uint32
+}
+
+// Queue is a simulation object's state queue (Figure 1), ordered by
+// ascending snapshot time. The initial (post-Init) state is stored at
+// vtime.NegInf so a rollback before the first finite checkpoint always finds
+// a restore point.
+type Queue struct {
+	snaps []Snapshot
+}
+
+// NewQueue returns a state queue primed with the object's initial
+// (post-Init) snapshot.
+func NewQueue(initial Snapshot) *Queue {
+	initial.Time = vtime.NegInf
+	return &Queue{snaps: []Snapshot{initial}}
+}
+
+// Save appends a snapshot. Snapshot times must be non-decreasing; equal
+// times are allowed (several events may share a timestamp) and the later
+// snapshot wins on restore.
+func (q *Queue) Save(s Snapshot) {
+	q.snaps = append(q.snaps, s)
+}
+
+// RestoreBefore pops every snapshot at or after time t and returns the
+// newest remaining snapshot — the state to resume from when a straggler with
+// receive time t arrives. The returned snapshot stays in the queue (its
+// state must still be cloned before mutation). The strict inequality matters:
+// a snapshot taken at exactly t may already include a same-time event that
+// must be re-ordered after the straggler.
+func (q *Queue) RestoreBefore(t vtime.Time) Snapshot {
+	i := len(q.snaps)
+	for i > 0 && !q.snaps[i-1].Time.Before(t) {
+		q.snaps[i-1].State = nil
+		i--
+	}
+	q.snaps = q.snaps[:i]
+	// The NegInf snapshot is never discarded, so i >= 1 always holds.
+	return q.snaps[i-1]
+}
+
+// FossilCollect discards snapshots that can never be restored again once GVT
+// has reached gvt: everything older than the newest snapshot strictly before
+// gvt. Strictness matters — a straggler may still arrive with receive time
+// exactly GVT, and restoring it needs a snapshot from strictly earlier.
+// It returns the number of snapshots reclaimed.
+func (q *Queue) FossilCollect(gvt vtime.Time) int {
+	keep := 0
+	for i, s := range q.snaps {
+		if s.Time.Before(gvt) {
+			keep = i
+		} else {
+			break
+		}
+	}
+	if keep == 0 {
+		return 0
+	}
+	n := keep
+	copy(q.snaps, q.snaps[keep:])
+	for i := len(q.snaps) - keep; i < len(q.snaps); i++ {
+		q.snaps[i] = Snapshot{}
+	}
+	q.snaps = q.snaps[:len(q.snaps)-keep]
+	return n
+}
+
+// Len returns the number of snapshots held (including the initial one).
+func (q *Queue) Len() int { return len(q.snaps) }
+
+// OldestMark returns the Mark of the oldest retained snapshot. Processed
+// events below it can never be needed for coast forward again and may be
+// fossil-collected by the kernel.
+func (q *Queue) OldestMark() int64 { return q.snaps[0].Mark }
+
+// Newest returns the most recent snapshot time, for tests and reports.
+func (q *Queue) Newest() vtime.Time { return q.snaps[len(q.snaps)-1].Time }
+
+// Mode selects how the checkpoint interval is managed.
+type Mode int
+
+const (
+	// Periodic uses a fixed interval χ for the whole run.
+	Periodic Mode = iota
+	// Dynamic adapts χ on line with the Section 4 controller.
+	Dynamic
+)
+
+// String names the mode for reports and flags.
+func (m Mode) String() string {
+	if m == Dynamic {
+		return "dynamic"
+	}
+	return "periodic"
+}
+
+// Config parameterizes a Checkpointer.
+type Config struct {
+	// Mode selects periodic or dynamic interval management.
+	Mode Mode
+	// Interval is χ0: the fixed interval (Periodic) or initial interval
+	// (Dynamic). Values below 1 are treated as 1 (save after every event).
+	Interval int
+	// MinInterval and MaxInterval clamp the dynamic interval.
+	MinInterval, MaxInterval int
+	// Period is P: processed events between controller invocations.
+	Period int
+	// Margin is the relative Ec increase considered significant.
+	Margin float64
+	// Directional selects the directional hill-climb transfer function
+	// instead of the paper's increment-unless-worse heuristic.
+	Directional bool
+}
+
+// withDefaults fills unset fields with the defaults used in the experiments.
+func (c Config) withDefaults() Config {
+	if c.Interval < 1 {
+		c.Interval = 1
+	}
+	if c.MinInterval < 1 {
+		c.MinInterval = 1
+	}
+	if c.MaxInterval < c.MinInterval {
+		c.MaxInterval = 64
+	}
+	if c.Period < 1 {
+		c.Period = 256
+	}
+	if c.Margin <= 0 {
+		c.Margin = 0.05
+	}
+	return c
+}
+
+// Checkpointer decides, per simulation object, when to checkpoint, and (in
+// Dynamic mode) adapts the interval χ from the observed cost index Ec.
+type Checkpointer struct {
+	mode      Mode
+	param     control.IntParam
+	sinceSave int
+	ticker    *control.Ticker
+	transfer  control.CostTransfer
+
+	// Ec accumulation for the current control period.
+	saveCost  time.Duration
+	coastCost time.Duration
+
+	// Adjustments counts interval changes, for the statistics report.
+	Adjustments int64
+}
+
+// NewCheckpointer returns a checkpointer for one object.
+func NewCheckpointer(cfg Config) *Checkpointer {
+	cfg = cfg.withDefaults()
+	c := &Checkpointer{
+		mode: cfg.Mode,
+		param: control.IntParam{
+			Value: cfg.Interval,
+			Min:   cfg.MinInterval,
+			Max:   cfg.MaxInterval,
+			Step:  1,
+		},
+		ticker: control.NewTicker(cfg.Period),
+	}
+	if cfg.Directional {
+		c.transfer = &control.DirectionalClimb{Margin: cfg.Margin}
+	} else {
+		c.transfer = &control.IncUnlessWorse{Margin: cfg.Margin}
+	}
+	return c
+}
+
+// Interval returns the current checkpoint interval χ.
+func (c *Checkpointer) Interval() int { return c.param.Value }
+
+// Mode returns the interval-management mode.
+func (c *Checkpointer) Mode() Mode { return c.mode }
+
+// OnEventProcessed is called after each forward event execution; it returns
+// true when a checkpoint should be taken now. In Dynamic mode it also runs
+// the control period and adjusts χ.
+func (c *Checkpointer) OnEventProcessed() (saveNow bool) {
+	c.sinceSave++
+	if c.mode == Dynamic && c.ticker.Tick() {
+		old := c.param.Value
+		c.transfer.Observe(float64(c.saveCost+c.coastCost), &c.param)
+		if c.param.Value != old {
+			c.Adjustments++
+		}
+		c.saveCost, c.coastCost = 0, 0
+	}
+	if c.sinceSave >= c.param.Value {
+		c.sinceSave = 0
+		return true
+	}
+	return false
+}
+
+// OnRestore resynchronizes the events-since-save counter after a rollback:
+// coasted events since the restored snapshot count toward the next save.
+func (c *Checkpointer) OnRestore(coasted int) {
+	c.sinceSave = coasted
+	if c.sinceSave >= c.param.Value {
+		// Avoid an immediate save storm after long coasts; save at the
+		// next processed event.
+		c.sinceSave = c.param.Value - 1
+	}
+}
+
+// ForceInterval sets the interval to chi immediately (external runtime
+// adjustment). In Dynamic mode the controller continues adapting from the
+// forced value; its clamps are widened to admit chi if necessary.
+func (c *Checkpointer) ForceInterval(chi int) {
+	if chi < 1 {
+		chi = 1
+	}
+	if chi < c.param.Min {
+		c.param.Min = chi
+	}
+	if chi > c.param.Max {
+		c.param.Max = chi
+	}
+	c.param.Value = chi
+	c.Adjustments++
+}
+
+// RecordSaveCost accumulates the wall-clock cost of one checkpoint into Ec.
+func (c *Checkpointer) RecordSaveCost(d time.Duration) { c.saveCost += d }
+
+// RecordCoastCost accumulates the wall-clock cost of one coast-forward phase
+// into Ec.
+func (c *Checkpointer) RecordCoastCost(d time.Duration) { c.coastCost += d }

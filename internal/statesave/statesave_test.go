@@ -1,0 +1,203 @@
+package statesave
+
+import (
+	"testing"
+	"time"
+
+	"gowarp/internal/model"
+	"gowarp/internal/vtime"
+)
+
+// intState is a trivial model.State for queue tests.
+type intState int
+
+func (s intState) Clone() model.State { return s }
+
+func snap(t vtime.Time, v int, mark int64) Snapshot {
+	return Snapshot{Time: t, State: intState(v), Mark: mark}
+}
+
+func TestQueueRestore(t *testing.T) {
+	q := NewQueue(Snapshot{State: intState(0)})
+	q.Save(snap(10, 1, 5))
+	q.Save(snap(20, 2, 9))
+	q.Save(snap(30, 3, 14))
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	// Restore before 25: snapshots at 30 drop, 20 is the restore point.
+	s := q.RestoreBefore(25)
+	if s.Time != 20 || s.State.(intState) != 2 || s.Mark != 9 {
+		t.Fatalf("RestoreBefore(25) = %+v", s)
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len after restore = %d", q.Len())
+	}
+	// Strictness: restoring at exactly a snapshot time skips it.
+	s = q.RestoreBefore(20)
+	if s.Time != 10 || s.State.(intState) != 1 {
+		t.Fatalf("RestoreBefore(20) = %+v", s)
+	}
+	// Restoring before everything lands on the initial NegInf snapshot.
+	s = q.RestoreBefore(1)
+	if s.Time != vtime.NegInf || s.State.(intState) != 0 || s.Mark != 0 {
+		t.Fatalf("RestoreBefore(1) = %+v", s)
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, initial snapshot must survive", q.Len())
+	}
+}
+
+func TestQueueEqualTimes(t *testing.T) {
+	q := NewQueue(Snapshot{State: intState(0)})
+	q.Save(snap(10, 1, 1))
+	q.Save(snap(10, 2, 2)) // later snapshot at the same time wins
+	s := q.RestoreBefore(11)
+	if s.State.(intState) != 2 {
+		t.Fatalf("RestoreBefore(11) picked %+v, want the newer equal-time snapshot", s)
+	}
+}
+
+func TestQueueFossilCollect(t *testing.T) {
+	q := NewQueue(Snapshot{State: intState(0)})
+	for i := 1; i <= 5; i++ {
+		q.Save(snap(vtime.Time(10*i), i, int64(i)))
+	}
+	// GVT = 35: keep the newest snapshot strictly before 35 (t=30) and
+	// everything after; drop NegInf, 10, 20.
+	n := q.FossilCollect(35)
+	if n != 3 {
+		t.Errorf("reclaimed %d, want 3", n)
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len = %d, want 3", q.Len())
+	}
+	if q.OldestMark() != 3 {
+		t.Errorf("OldestMark = %d, want 3", q.OldestMark())
+	}
+	// A straggler at exactly GVT must still find a restore point.
+	s := q.RestoreBefore(35)
+	if s.Time != 30 {
+		t.Fatalf("post-collect RestoreBefore(35) = %+v", s)
+	}
+	// Collecting with GVT at/below the oldest snapshot is a no-op.
+	if n := q.FossilCollect(5); n != 0 {
+		t.Errorf("reclaimed %d at low GVT, want 0", n)
+	}
+}
+
+func TestQueueFossilCollectAtExactSnapshotTime(t *testing.T) {
+	q := NewQueue(Snapshot{State: intState(0)})
+	q.Save(snap(10, 1, 1))
+	q.Save(snap(20, 2, 2))
+	// GVT exactly 20: the t=10 snapshot must survive (straggler at 20
+	// restores strictly before 20); only NegInf drops.
+	if n := q.FossilCollect(20); n != 1 {
+		t.Errorf("reclaimed %d, want 1", n)
+	}
+	s := q.RestoreBefore(20)
+	if s.Time != 10 {
+		t.Fatalf("RestoreBefore(20) = %+v", s)
+	}
+}
+
+func TestQueueNewest(t *testing.T) {
+	q := NewQueue(Snapshot{State: intState(0)})
+	if q.Newest() != vtime.NegInf {
+		t.Error("fresh queue newest must be -inf")
+	}
+	q.Save(snap(7, 1, 1))
+	if q.Newest() != 7 {
+		t.Errorf("Newest = %s", q.Newest())
+	}
+}
+
+func TestCheckpointerPeriodic(t *testing.T) {
+	c := NewCheckpointer(Config{Mode: Periodic, Interval: 3})
+	saves := 0
+	for i := 0; i < 9; i++ {
+		if c.OnEventProcessed() {
+			saves++
+		}
+	}
+	if saves != 3 {
+		t.Errorf("saves = %d in 9 events at interval 3", saves)
+	}
+	if c.Interval() != 3 || c.Mode() != Periodic {
+		t.Error("accessors broken")
+	}
+}
+
+func TestCheckpointerOnRestore(t *testing.T) {
+	c := NewCheckpointer(Config{Mode: Periodic, Interval: 4})
+	c.OnEventProcessed()
+	c.OnEventProcessed()
+	// Rollback coasted 1 event since the restored snapshot.
+	c.OnRestore(1)
+	saves := 0
+	for i := 0; i < 3; i++ {
+		if c.OnEventProcessed() {
+			saves++
+		}
+	}
+	if saves != 1 {
+		t.Errorf("saves = %d, want exactly 1 (counter resumed at 1)", saves)
+	}
+	// A coast at least as long as the interval must not save instantly
+	// after restore, only at the next processed event.
+	c2 := NewCheckpointer(Config{Mode: Periodic, Interval: 2})
+	c2.OnRestore(10)
+	if !c2.OnEventProcessed() {
+		t.Error("expected save at first event after a long coast")
+	}
+}
+
+func TestCheckpointerDynamicAdapts(t *testing.T) {
+	c := NewCheckpointer(Config{
+		Mode: Dynamic, Interval: 1, MinInterval: 1, MaxInterval: 16,
+		Period: 8, Margin: 0.01,
+	})
+	// Feed a cost regime where saving is expensive and coasting free: Ec
+	// decreases as the interval grows, so χ should climb.
+	for i := 0; i < 400; i++ {
+		c.RecordSaveCost(time.Duration(1000 / c.Interval()))
+		c.OnEventProcessed()
+	}
+	if c.Interval() < 8 {
+		t.Errorf("interval = %d, want growth toward max", c.Interval())
+	}
+	if c.Adjustments == 0 {
+		t.Error("no adjustments recorded")
+	}
+}
+
+func TestCheckpointerDynamicBacksOff(t *testing.T) {
+	c := NewCheckpointer(Config{
+		Mode: Dynamic, Interval: 8, MinInterval: 1, MaxInterval: 64,
+		Period: 8, Margin: 0.01,
+	})
+	// Opposite regime: coast-forward cost grows superlinearly with the
+	// interval (long coasts), saving is cheap. χ should not run away to max.
+	for i := 0; i < 2000; i++ {
+		chi := time.Duration(c.Interval())
+		c.RecordCoastCost(chi * chi * 10)
+		c.RecordSaveCost(100 / chi)
+		c.OnEventProcessed()
+	}
+	if c.Interval() > 48 {
+		t.Errorf("interval = %d, expected the controller to hold back", c.Interval())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := NewCheckpointer(Config{})
+	if c.Interval() != 1 {
+		t.Errorf("default interval = %d, want 1", c.Interval())
+	}
+	if c.Mode() != Periodic {
+		t.Error("default mode must be periodic")
+	}
+	if Periodic.String() != "periodic" || Dynamic.String() != "dynamic" {
+		t.Error("mode names broken")
+	}
+}

@@ -1,0 +1,206 @@
+// Package stats collects the execution statistics the kernel and the on-line
+// configuration controllers observe: event, rollback, message and
+// cancellation counters plus wall-clock cost accumulators. Counters are
+// written only by the owning logical process goroutine and merged after the
+// LPs join, so no synchronization appears on hot paths.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Counters is one LP's (or, after merging, the whole simulation's) tally.
+type Counters struct {
+	// EventsProcessed counts every event execution, including executions
+	// later undone by rollback and coast-forward re-executions.
+	EventsProcessed int64
+	// EventsRolledBack counts event executions undone by rollbacks.
+	EventsRolledBack int64
+	// EventsCommitted counts events whose effects became permanent (receive
+	// time below the final GVT, executed exactly once in the committed
+	// history).
+	EventsCommitted int64
+	// CoastForwardEvents counts re-executions performed with output
+	// suppressed to rebuild state after restoring a checkpoint.
+	CoastForwardEvents int64
+
+	// Rollbacks counts rollback episodes; RollbackLength accumulates the
+	// number of events undone so the mean length can be reported.
+	Rollbacks      int64
+	RollbackLength int64
+	// Stragglers and AntiStragglers split rollbacks by trigger: a positive
+	// message in the past versus an anti-message annihilating a processed
+	// event.
+	Stragglers     int64
+	AntiStragglers int64
+
+	// StatesSaved counts checkpoints taken; StateBytes the bytes copied.
+	StatesSaved int64
+	StateBytes  int64
+	// StateSaveTime and CoastForwardTime accumulate the wall-clock cost of
+	// checkpointing and of coast-forward re-execution; their sum over a
+	// control period is the cost index Ec of the checkpoint controller.
+	StateSaveTime    time.Duration
+	CoastForwardTime time.Duration
+
+	// EventMsgsSent counts application events handed to the communication
+	// substrate (inter-LP only; intra-LP sends are free and counted in
+	// IntraLPMsgs). AntiMsgsSent counts anti-messages among them.
+	EventMsgsSent int64
+	AntiMsgsSent  int64
+	IntraLPMsgs   int64
+	// PhysicalMsgsSent counts physical messages put on the (simulated)
+	// wire; with aggregation one physical message carries many events.
+	PhysicalMsgsSent int64
+	BytesSent        int64
+	// AggregatedEvents counts events that shared a physical message with at
+	// least one other event.
+	AggregatedEvents int64
+	// AggregateFlushes counts aggregate transmissions by cause.
+	FlushWindow, FlushCapacity, FlushUrgent, FlushIdle int64
+
+	// LazyHits / LazyMisses count rollback output comparisons (the Hit
+	// Ratio's numerator and denominator pieces); CancellationSwitches
+	// counts dynamic strategy changes.
+	LazyHits             int64
+	LazyMisses           int64
+	CancellationSwitches int64
+
+	// GVTCycles counts completed GVT computations; GVTRounds the token
+	// circulations they took; GVTTime the initiation-to-completion wall
+	// time (initiator only); FossilCollected the history items reclaimed.
+	GVTCycles       int64
+	GVTRounds       int64
+	GVTTime         time.Duration
+	FossilCollected int64
+
+	// CheckpointAdjustments counts dynamic checkpoint-interval changes.
+	CheckpointAdjustments int64
+	// WindowAdjustments counts adaptive aggregation-window changes.
+	WindowAdjustments int64
+}
+
+// Merge adds o into c.
+func (c *Counters) Merge(o *Counters) {
+	c.EventsProcessed += o.EventsProcessed
+	c.EventsRolledBack += o.EventsRolledBack
+	c.EventsCommitted += o.EventsCommitted
+	c.CoastForwardEvents += o.CoastForwardEvents
+	c.Rollbacks += o.Rollbacks
+	c.RollbackLength += o.RollbackLength
+	c.Stragglers += o.Stragglers
+	c.AntiStragglers += o.AntiStragglers
+	c.StatesSaved += o.StatesSaved
+	c.StateBytes += o.StateBytes
+	c.StateSaveTime += o.StateSaveTime
+	c.CoastForwardTime += o.CoastForwardTime
+	c.EventMsgsSent += o.EventMsgsSent
+	c.AntiMsgsSent += o.AntiMsgsSent
+	c.IntraLPMsgs += o.IntraLPMsgs
+	c.PhysicalMsgsSent += o.PhysicalMsgsSent
+	c.BytesSent += o.BytesSent
+	c.AggregatedEvents += o.AggregatedEvents
+	c.FlushWindow += o.FlushWindow
+	c.FlushCapacity += o.FlushCapacity
+	c.FlushUrgent += o.FlushUrgent
+	c.FlushIdle += o.FlushIdle
+	c.LazyHits += o.LazyHits
+	c.LazyMisses += o.LazyMisses
+	c.CancellationSwitches += o.CancellationSwitches
+	c.GVTCycles += o.GVTCycles
+	c.GVTRounds += o.GVTRounds
+	c.GVTTime += o.GVTTime
+	c.FossilCollected += o.FossilCollected
+	c.CheckpointAdjustments += o.CheckpointAdjustments
+	c.WindowAdjustments += o.WindowAdjustments
+}
+
+// HitRatio returns the overall lazy/aggressive hit ratio, or 0 when no
+// comparisons were recorded.
+func (c *Counters) HitRatio() float64 {
+	n := c.LazyHits + c.LazyMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(c.LazyHits) / float64(n)
+}
+
+// Efficiency returns committed / processed events, the standard Time Warp
+// efficiency metric (1.0 means no wasted optimism).
+func (c *Counters) Efficiency() float64 {
+	if c.EventsProcessed == 0 {
+		return 0
+	}
+	return float64(c.EventsCommitted) / float64(c.EventsProcessed)
+}
+
+// MeanRollbackLength returns the average number of events undone per
+// rollback, or 0 when no rollbacks occurred.
+func (c *Counters) MeanRollbackLength() float64 {
+	if c.Rollbacks == 0 {
+		return 0
+	}
+	return float64(c.RollbackLength) / float64(c.Rollbacks)
+}
+
+// Report renders the counters as an aligned multi-line table.
+func (c *Counters) Report() string {
+	type row struct {
+		k string
+		v string
+	}
+	rows := []row{
+		{"events processed", fmt.Sprint(c.EventsProcessed)},
+		{"events committed", fmt.Sprint(c.EventsCommitted)},
+		{"events rolled back", fmt.Sprint(c.EventsRolledBack)},
+		{"coast-forward events", fmt.Sprint(c.CoastForwardEvents)},
+		{"efficiency", fmt.Sprintf("%.3f", c.Efficiency())},
+		{"rollbacks", fmt.Sprintf("%d (mean len %.2f)", c.Rollbacks, c.MeanRollbackLength())},
+		{"states saved", fmt.Sprintf("%d (%d bytes)", c.StatesSaved, c.StateBytes)},
+		{"state-save time", c.StateSaveTime.String()},
+		{"coast-forward time", c.CoastForwardTime.String()},
+		{"event msgs sent (inter-LP)", fmt.Sprint(c.EventMsgsSent)},
+		{"anti-messages sent", fmt.Sprint(c.AntiMsgsSent)},
+		{"intra-LP msgs", fmt.Sprint(c.IntraLPMsgs)},
+		{"physical msgs sent", fmt.Sprint(c.PhysicalMsgsSent)},
+		{"bytes sent", fmt.Sprint(c.BytesSent)},
+		{"aggregated events", fmt.Sprint(c.AggregatedEvents)},
+		{"flushes (win/cap/urg/idle)", fmt.Sprintf("%d/%d/%d/%d", c.FlushWindow, c.FlushCapacity, c.FlushUrgent, c.FlushIdle)},
+		{"lazy hits / misses", fmt.Sprintf("%d/%d (HR %.3f)", c.LazyHits, c.LazyMisses, c.HitRatio())},
+		{"cancellation switches", fmt.Sprint(c.CancellationSwitches)},
+		{"checkpoint adjustments", fmt.Sprint(c.CheckpointAdjustments)},
+		{"window adjustments", fmt.Sprint(c.WindowAdjustments)},
+		{"GVT cycles", fmt.Sprintf("%d (%d rounds, %s)", c.GVTCycles, c.GVTRounds, c.GVTTime)},
+		{"fossils collected", fmt.Sprint(c.FossilCollected)},
+	}
+	w := 0
+	for _, r := range rows {
+		if len(r.k) > w {
+			w = len(r.k)
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %s\n", w, r.k, r.v)
+	}
+	return b.String()
+}
+
+// PerObject records a handful of per-simulation-object observations used by
+// the analysis tooling (which objects favor lazy cancellation, final
+// checkpoint intervals, …).
+type PerObject struct {
+	Name               string
+	Rollbacks          int64
+	HitRatio           float64
+	FinalStrategy      string
+	FinalCheckpointInt int
+}
+
+// SortPerObject orders the slice by name for deterministic reports.
+func SortPerObject(s []PerObject) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMergeCoversEveryField(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := mkCounters(r)
+	b := mkCounters(r)
+	sum := a
+	sum.Merge(&b)
+
+	va := reflect.ValueOf(a)
+	vb := reflect.ValueOf(b)
+	vs := reflect.ValueOf(sum)
+	for i := 0; i < va.NumField(); i++ {
+		name := va.Type().Field(i).Name
+		want := va.Field(i).Int() + vb.Field(i).Int()
+		if got := vs.Field(i).Int(); got != want {
+			t.Errorf("field %s: merged %d, want %d — Merge is missing this field", name, got, want)
+		}
+	}
+}
+
+// mkCounters fills every field (all are int64-kinded, including
+// time.Duration) with random values.
+func mkCounters(r *rand.Rand) Counters {
+	var c Counters
+	v := reflect.ValueOf(&c).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(int64(r.Intn(1000) + 1))
+	}
+	return c
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	var c Counters
+	if c.HitRatio() != 0 || c.Efficiency() != 0 || c.MeanRollbackLength() != 0 {
+		t.Error("zero counters must yield zero ratios")
+	}
+	c.LazyHits, c.LazyMisses = 3, 1
+	if got := c.HitRatio(); got != 0.75 {
+		t.Errorf("HitRatio = %g", got)
+	}
+	c.EventsProcessed, c.EventsCommitted = 200, 150
+	if got := c.Efficiency(); got != 0.75 {
+		t.Errorf("Efficiency = %g", got)
+	}
+	c.Rollbacks, c.RollbackLength = 4, 10
+	if got := c.MeanRollbackLength(); got != 2.5 {
+		t.Errorf("MeanRollbackLength = %g", got)
+	}
+}
+
+func TestReportMentionsKeyCounters(t *testing.T) {
+	c := Counters{
+		EventsProcessed: 10, EventsCommitted: 7, Rollbacks: 2,
+		StateSaveTime: 3 * time.Millisecond, GVTCycles: 5,
+	}
+	rep := c.Report()
+	for _, want := range []string{
+		"events processed", "events committed", "rollbacks",
+		"state-save time", "GVT cycles", "efficiency",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report lacks %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestSortPerObject(t *testing.T) {
+	s := []PerObject{{Name: "b"}, {Name: "c"}, {Name: "a"}}
+	SortPerObject(s)
+	if s[0].Name != "a" || s[2].Name != "c" {
+		t.Errorf("sorted order: %v", s)
+	}
+}
