@@ -19,7 +19,27 @@ import (
 	"time"
 
 	"gowarp/internal/exp"
+	"gowarp/internal/telemetry"
 )
+
+// benchResult flattens a figure into the BENCH_*.json artifact tracking the
+// performance trajectory across commits.
+func benchResult(fig exp.Figure) telemetry.BenchResult {
+	out := telemetry.BenchResult{Name: fig.Name, Title: fig.Title}
+	for _, s := range fig.Series {
+		for _, r := range s.Rows {
+			out.Rows = append(out.Rows, telemetry.BenchRow{
+				Series:       s.Name,
+				X:            r.X,
+				Seconds:      r.Seconds,
+				EventsPerSec: r.Rate,
+				Efficiency:   r.Stats.Efficiency(),
+				Rollbacks:    r.Stats.Rollbacks,
+			})
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -29,6 +49,7 @@ func main() {
 		rates   = flag.Bool("rates", false, "also print committed-event rates per point")
 		details = flag.Bool("details", false, "print per-point counter details")
 		csvDir  = flag.String("csv", "", "also write <dir>/<figure>.csv per experiment")
+		jsonDir = flag.String("json", "", "also write <dir>/BENCH_<figure>.json machine-readable results per experiment")
 	)
 	flag.Parse()
 
@@ -78,6 +99,13 @@ func main() {
 			path := filepath.Join(*csvDir, fig.Name+".csv")
 			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "twbench: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+		if *jsonDir != "" {
+			path := filepath.Join(*jsonDir, "BENCH_"+fig.Name+".json")
+			if err := telemetry.WriteJSON(path, benchResult(fig)); err != nil {
+				fmt.Fprintf(os.Stderr, "twbench: %v\n", err)
 				os.Exit(1)
 			}
 		}

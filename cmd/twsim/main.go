@@ -6,6 +6,8 @@
 //	twsim -model smmp -requests 2000 -cancel dynamic -ckpt dynamic
 //	twsim -model raid -requests 500 -agg saaw -agg-window 1ms
 //	twsim -model phold -end 100000 -lps 4 -verify
+//	twsim -model raid -ckpt dynamic -cancel dynamic -trace out.json -trace-format chrome
+//	twsim -model phold -metrics-addr 127.0.0.1:9090 -json-out run.json
 package main
 
 import (
@@ -51,6 +53,12 @@ func main() {
 		verify     = flag.Bool("verify", false, "also run the sequential kernel and compare committed events and final states")
 		perObject  = flag.Bool("per-object", false, "print per-object strategy/interval summary")
 		sequential = flag.Bool("sequential", false, "run only the sequential reference kernel")
+
+		traceFile   = flag.String("trace", "", "write a structured kernel trace (rollbacks, controller adjustments, GVT cycles, flushes) to this file")
+		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl, chrome (load in chrome://tracing or Perfetto)")
+		traceCap    = flag.Int("trace-cap", 0, "per-LP trace ring capacity in events (0 = default; oldest events are overwritten when full)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics on this address while the run executes (/metrics Prometheus text, /debug/vars expvar)")
+		jsonOut     = flag.String("json-out", "", "write a machine-readable run summary JSON to this file")
 	)
 	flag.Parse()
 
@@ -162,9 +170,57 @@ func main() {
 		fatal(fmt.Errorf("unknown pending-set %q", *pending))
 	}
 
+	var tracer *gowarp.Tracer
+	if *traceFile != "" {
+		if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+			fatal(fmt.Errorf("unknown trace format %q (want jsonl or chrome)", *traceFormat))
+		}
+		tracer = gowarp.NewTracer(*traceCap)
+		cfg.Tracer = tracer
+	}
+	if *metricsAddr != "" {
+		reg := gowarp.NewMetricsRegistry()
+		srv, err := gowarp.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		cfg.Metrics = reg
+		fmt.Fprintf(os.Stderr, "twsim: serving metrics on http://%s/metrics\n", srv.Addr())
+	}
+
 	res, err := gowarp.Run(m, cfg)
 	if err != nil {
 		fatal(err)
+	}
+
+	if tracer != nil {
+		if err := writeTrace(tracer, *traceFile, *traceFormat); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events to %s (%s format, %d overwritten)\n",
+			len(tracer.Events()), *traceFile, *traceFormat, tracer.Dropped())
+	}
+	if *jsonOut != "" {
+		flags := map[string]string{}
+		flag.VisitAll(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
+		stats.SortPerObject(res.PerObject)
+		sum := gowarp.RunSummary{
+			Model:              m.Name,
+			Flags:              flags,
+			ElapsedSeconds:     res.Elapsed.Seconds(),
+			FinalGVT:           res.GVT.String(),
+			EventsPerSec:       res.EventRate(),
+			Efficiency:         res.Stats.Efficiency(),
+			HitRatio:           res.Stats.HitRatio(),
+			MeanRollbackLength: res.Stats.MeanRollbackLength(),
+			Stats:              res.Stats,
+			PerObject:          res.PerObject,
+			TraceDropped:       tracer.Dropped(),
+		}
+		if err := gowarp.WriteJSON(*jsonOut, sum); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("%s: %d committed events in %s (%.0f ev/s), final GVT %s\n",
 		m.Name, res.Stats.EventsCommitted, res.Elapsed.Round(time.Millisecond),
@@ -199,6 +255,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+func writeTrace(tracer *gowarp.Tracer, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "chrome" {
+		err = tracer.WriteChrome(f)
+	} else {
+		err = tracer.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func okStr(ok bool) string {

@@ -1,0 +1,150 @@
+// Traced example: a fully adaptive PHOLD run with the telemetry layer on —
+// structured kernel tracing, the live metrics endpoint, and the adaptation
+// timeline, side by side. It writes the same trace in both export formats
+// (JSONL for grep/jq, Chrome trace_event for chrome://tracing or Perfetto),
+// scrapes its own /metrics endpoint once mid-run, and prints a breakdown of
+// the recorded events.
+//
+// Run:
+//
+//	go run ./examples/traced
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"gowarp"
+)
+
+func main() {
+	m := gowarp.NewPHOLD(gowarp.PHOLDConfig{
+		Objects:         32,
+		TokensPerObject: 4,
+		MeanDelay:       20,
+		Locality:        0.5,
+		LPs:             4,
+		Seed:            99,
+		StatePadding:    16 << 10,
+	})
+
+	cfg := gowarp.DefaultConfig(60_000)
+	cfg.Cost = gowarp.CostModel{PerMessage: 60 * time.Microsecond, PerByte: 10 * time.Nanosecond}
+	cfg.EventCost = 5 * time.Microsecond
+	cfg.OptimismWindow = 1000
+	cfg.Timeline = true
+	cfg.Checkpoint = gowarp.CheckpointConfig{
+		Mode: gowarp.DynamicCheckpointing, Interval: 1,
+		MinInterval: 1, MaxInterval: 64, Period: 256,
+	}
+	cfg.Cancellation = gowarp.CancellationConfig{Mode: gowarp.DynamicCancellation}
+	cfg.Aggregation = gowarp.AggregationConfig{Policy: gowarp.SAAW, Window: 10 * time.Millisecond}
+
+	// Telemetry: a per-LP trace ring plus a live metrics registry served over
+	// HTTP for the duration of the run.
+	tracer := gowarp.NewTracer(0)
+	cfg.Tracer = tracer
+	reg := gowarp.NewMetricsRegistry()
+	cfg.Metrics = reg
+	srv, err := gowarp.ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("metrics live at http://%s/metrics during the run\n\n", srv.Addr())
+
+	// Scrape our own endpoint once while the kernel is running, the way an
+	// external Prometheus would.
+	scraped := make(chan string, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			scraped <- "scrape failed: " + err.Error()
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		scraped <- string(body)
+	}()
+
+	res, err := gowarp.Run(m, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d committed events in %s (%.0f ev/s), efficiency %.3f\n\n",
+		m.Name, res.Stats.EventsCommitted, res.Elapsed.Round(time.Millisecond),
+		res.EventRate(), res.Stats.Efficiency())
+
+	// What did the kernel record? Break the merged trace down by kind.
+	events := tracer.Events()
+	byKind := map[string]int{}
+	for _, ev := range events {
+		byKind[ev.Kind.String()]++
+	}
+	fmt.Printf("trace: %d events (%d overwritten in the rings)\n", len(events), tracer.Dropped())
+	for _, k := range []string{"rollback", "checkpoint_adjust", "strategy_switch", "gvt", "flush", "window_adjust"} {
+		if n := byKind[k]; n > 0 {
+			fmt.Printf("  %-18s %6d\n", k, n)
+		}
+	}
+	fmt.Println()
+
+	// Export both formats. The Chrome file loads directly in chrome://tracing
+	// or https://ui.perfetto.dev; the JSONL file is one event per line.
+	for _, out := range []struct {
+		path  string
+		write func(io.Writer) error
+	}{
+		{"traced.jsonl", tracer.WriteJSONL},
+		{"traced.chrome.json", tracer.WriteChrome},
+	} {
+		f, err := os.Create(out.path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := out.write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out.path)
+	}
+	fmt.Println()
+
+	// The mid-run scrape: live gauges an external monitor would have seen.
+	fmt.Println("mid-run /metrics scrape (first lines):")
+	body := <-scraped
+	for i, line := range splitLines(body) {
+		if i >= 14 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %s\n", line)
+	}
+	fmt.Println()
+
+	fmt.Println("adaptation timeline (LP 0):")
+	fmt.Print(gowarp.RenderTimeline(res.Timeline[:1], 8))
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}

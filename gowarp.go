@@ -49,6 +49,7 @@ import (
 	"gowarp/internal/pq"
 	"gowarp/internal/statesave"
 	"gowarp/internal/stats"
+	"gowarp/internal/telemetry"
 	"gowarp/internal/vtime"
 )
 
@@ -189,6 +190,44 @@ func NewTuner() *Tuner { return core.NewTuner() }
 func RenderTimeline(tls []LPTimeline, maxRows int) string {
 	return core.RenderTimeline(tls, maxRows)
 }
+
+// Telemetry: structured tracing, live metrics and machine-readable run
+// artifacts (see internal/telemetry).
+type (
+	// Tracer records structured kernel trace events — rollbacks,
+	// controller adjustments, GVT cycles, aggregation flushes — into
+	// per-LP ring buffers (set Config.Tracer). Export recorded runs with
+	// WriteJSONL or WriteChrome (chrome://tracing / Perfetto).
+	Tracer = telemetry.Tracer
+	// TraceEvent is one recorded trace event.
+	TraceEvent = telemetry.Event
+	// MetricsRegistry is the live metrics registry the kernel refreshes
+	// each GVT cycle (set Config.Metrics); serve it with ServeMetrics.
+	MetricsRegistry = telemetry.Registry
+	// MetricsServer is a running metrics HTTP endpoint.
+	MetricsServer = telemetry.MetricsServer
+	// RunSummary is the machine-readable per-run artifact written by
+	// twsim -json-out.
+	RunSummary = telemetry.RunSummary
+)
+
+// NewTracer returns a tracer whose per-LP rings hold capacity events each
+// (<= 0 selects the default, ~64k). When a ring fills, the oldest events
+// are overwritten.
+func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
+
+// NewMetricsRegistry returns an empty live metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// ServeMetrics serves reg over HTTP on addr: /metrics in Prometheus text
+// exposition format and /debug/vars as expvar JSON. Port 0 picks a free
+// port; the bound address is available via MetricsServer.Addr.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return telemetry.Serve(addr, reg)
+}
+
+// WriteJSON writes v to path as indented JSON (run artifacts, summaries).
+func WriteJSON(path string, v any) error { return telemetry.WriteJSON(path, v) }
 
 // RunConservative executes m under CMB null-message synchronization.
 func RunConservative(m *Model, cfg ConservativeConfig) (*ConservativeResult, error) {

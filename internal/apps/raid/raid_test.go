@@ -13,9 +13,9 @@ import (
 // object's Execute in isolation.
 type nullCtx struct{}
 
-func (nullCtx) Self() event.ObjectID { return 0 }
-func (nullCtx) Now() vtime.Time      { return 0 }
-func (nullCtx) EndTime() vtime.Time  { return vtime.PosInf }
+func (nullCtx) Self() event.ObjectID                            { return 0 }
+func (nullCtx) Now() vtime.Time                                 { return 0 }
+func (nullCtx) EndTime() vtime.Time                             { return vtime.PosInf }
 func (nullCtx) Send(event.ObjectID, vtime.Time, uint32, []byte) {}
 
 var _ model.Context = nullCtx{}

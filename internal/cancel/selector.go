@@ -106,6 +106,11 @@ type Selector struct {
 
 	// Switches counts strategy changes, for the statistics report.
 	Switches int64
+
+	// Hook, when non-nil, observes every strategy change: the strategy now
+	// in force and the windowed hit ratio at the decision point. Set it
+	// before the run starts; it is called from the owning LP goroutine.
+	Hook func(to Strategy, hitRatio float64)
 }
 
 // NewSelector returns a selector for the given configuration.
@@ -162,10 +167,7 @@ func (s *Selector) RecordComparison(hit bool) Strategy {
 
 	// PA: a long run of consecutive misses pins the object to aggressive.
 	if r := s.cfg.PermanentAggressiveRun; r > 0 && s.window.FalseRun() >= r {
-		if s.current != Aggressive {
-			s.current = Aggressive
-			s.Switches++
-		}
+		s.setCurrent(Aggressive)
 		s.frozen = true
 		return s.current
 	}
@@ -184,10 +186,7 @@ func (s *Selector) RecordComparison(hit bool) Strategy {
 // Override freezes the selector on the given strategy, regardless of mode —
 // the hook used by external runtime adjustment. The object stops monitoring.
 func (s *Selector) Override(strat Strategy) {
-	if s.current != strat {
-		s.current = strat
-		s.Switches++
-	}
+	s.setCurrent(strat)
 	s.frozen = true
 }
 
@@ -196,8 +195,18 @@ func (s *Selector) decide() {
 	if s.dz.Input(s.window.Ratio()) {
 		want = Lazy
 	}
-	if want != s.current {
-		s.current = want
-		s.Switches++
+	s.setCurrent(want)
+}
+
+// setCurrent switches the strategy in force, counting the change and
+// notifying the hook.
+func (s *Selector) setCurrent(want Strategy) {
+	if want == s.current {
+		return
+	}
+	s.current = want
+	s.Switches++
+	if s.Hook != nil {
+		s.Hook(want, s.window.Ratio())
 	}
 }

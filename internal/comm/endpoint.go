@@ -27,6 +27,13 @@ type Endpoint struct {
 	sent  [2]int64
 	recv  [2]int64
 	tmin  vtime.Time // min receive time of events sent under the current color
+
+	// TraceFlush, when non-nil, observes every physical transmission: the
+	// destination LP, the cause that closed the aggregate, and its event
+	// and byte counts. TraceWindow observes SAAW window changes. Both are
+	// called from the owning LP goroutine; set them before the run starts.
+	TraceFlush  func(dst int, cause FlushCause, events, bytes int)
+	TraceWindow func(dst int, oldW, newW time.Duration)
 }
 
 // NewEndpoint attaches lp to the network with the given aggregation
@@ -162,6 +169,9 @@ func (e *Endpoint) flush(dst int, cause FlushCause) {
 	case FlushIdle:
 		e.st.FlushIdle++
 	}
+	if e.TraceFlush != nil {
+		e.TraceFlush(dst, cause, count, len(payload))
+	}
 
 	e.net.deliver(dst, Packet{
 		Kind:    PktEvents,
@@ -176,8 +186,12 @@ func (e *Endpoint) flush(dst int, cause FlushCause) {
 	if e.cfg.Policy == SAAW {
 		// The paper's P component is "everyAggregate": adapt whenever an
 		// aggregate goes out, whatever closed it.
+		old := b.window
 		if b.adapt(e.cfg, time.Now()) {
 			e.st.WindowAdjustments++
+			if e.TraceWindow != nil {
+				e.TraceWindow(dst, old, b.window)
+			}
 		}
 	}
 }

@@ -45,12 +45,21 @@ type IncUnlessWorse struct {
 	// Margin is the relative increase in cost considered significant
 	// (e.g. 0.05 = 5%).
 	Margin float64
+	// Hook, when non-nil, observes every control decision: the cost sample
+	// and the parameter value before and after (equal when the adjustment
+	// saturated at a clamp). Telemetry attaches here so adaptive-control
+	// behaviour can be traced rather than inferred.
+	Hook   func(cost float64, from, to int)
 	prev   float64
 	primed bool
 }
 
 // Observe implements CostTransfer.
 func (t *IncUnlessWorse) Observe(cost float64, p *IntParam) {
+	if t.Hook != nil {
+		from := p.Value
+		defer func() { t.Hook(cost, from, p.Value) }()
+	}
 	if !t.primed {
 		t.primed = true
 		t.prev = cost
@@ -74,6 +83,9 @@ func (t *IncUnlessWorse) Observe(cost float64, p *IntParam) {
 type DirectionalClimb struct {
 	// Margin is the relative increase in cost considered a worsening.
 	Margin float64
+	// Hook, when non-nil, observes every control decision (see
+	// IncUnlessWorse.Hook).
+	Hook   func(cost float64, from, to int)
 	dir    int // +1 or -1
 	prev   float64
 	primed bool
@@ -81,6 +93,10 @@ type DirectionalClimb struct {
 
 // Observe implements CostTransfer.
 func (t *DirectionalClimb) Observe(cost float64, p *IntParam) {
+	if t.Hook != nil {
+		from := p.Value
+		defer func() { t.Hook(cost, from, p.Value) }()
+	}
 	if t.dir == 0 {
 		t.dir = 1
 	}

@@ -18,6 +18,7 @@ import (
 	"gowarp/internal/pq"
 	"gowarp/internal/statesave"
 	"gowarp/internal/stats"
+	"gowarp/internal/telemetry"
 	"gowarp/internal/vtime"
 )
 
@@ -60,6 +61,20 @@ type Config struct {
 	// Tuner, when non-nil, allows external adjustment of the running
 	// simulation's parameters; LPs apply pending changes at each GVT.
 	Tuner *Tuner
+
+	// Tracer, when non-nil, receives structured trace events — rollback
+	// episodes, checkpoint-interval adjustments, cancellation-strategy
+	// switches, GVT cycles, aggregation flushes — into per-LP ring buffers
+	// (see telemetry.Tracer). Nil disables tracing at the cost of a pointer
+	// comparison per hook site.
+	Tracer *telemetry.Tracer
+
+	// Metrics, when non-nil, is bound to the run and refreshed by every LP
+	// at each GVT application (the kernel's control period) with live
+	// gauges: GVT, efficiency, hit ratio, rollback rate, mean checkpoint
+	// interval, aggregation window. Serve it with telemetry.Serve to scrape
+	// a running simulation.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig returns a configuration matching the paper's all-static

@@ -11,6 +11,7 @@ import (
 	"gowarp/internal/pq"
 	"gowarp/internal/statesave"
 	"gowarp/internal/stats"
+	"gowarp/internal/telemetry"
 	"gowarp/internal/vtime"
 )
 
@@ -50,6 +51,13 @@ type lpRun struct {
 
 	// tunerGen is the last-applied external-adjustment generation.
 	tunerGen uint64
+
+	// tr is this LP's trace recorder (nil when tracing is disabled; all
+	// recording methods are no-ops on nil). met and lastGVTWall drive the
+	// live metrics published at each GVT application (met nil when off).
+	tr          *telemetry.LPTrace
+	met         *runMetrics
+	lastGVTWall time.Time
 }
 
 // refresh re-keys o in the schedule heap after its pending set changed.
@@ -186,6 +194,9 @@ func (lp *lpRun) applyGVT(g vtime.Time) {
 	lp.applyTuner()
 	if lp.cfg.Timeline {
 		lp.recordSample(g)
+	}
+	if lp.met != nil {
+		lp.publishMetrics(g)
 	}
 }
 

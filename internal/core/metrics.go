@@ -1,0 +1,84 @@
+package core
+
+import (
+	"time"
+
+	"gowarp/internal/telemetry"
+	"gowarp/internal/vtime"
+)
+
+// runMetrics holds the kernel's live metric set, registered once per run
+// into the configured telemetry registry and shared by all LPs (each LP
+// writes only its own labelled slots).
+type runMetrics struct {
+	gvt          *telemetry.Metric
+	gvtLag       *telemetry.Metric
+	gvtCycles    *telemetry.Metric
+	processed    *telemetry.Metric
+	committed    *telemetry.Metric
+	rolledBack   *telemetry.Metric
+	rollbacks    *telemetry.Metric
+	efficiency   *telemetry.Metric
+	rollbackRate *telemetry.Metric
+	hitRatio     *telemetry.Metric
+	meanChi      *telemetry.Metric
+	lazyObjects  *telemetry.Metric
+	aggWindow    *telemetry.Metric
+	physMsgs     *telemetry.Metric
+	antiMsgs     *telemetry.Metric
+}
+
+func newRunMetrics(reg *telemetry.Registry, numLPs int) *runMetrics {
+	reg.Bind(numLPs)
+	return &runMetrics{
+		gvt:          reg.Gauge("gowarp_gvt", "Current global virtual time.", false),
+		gvtLag:       reg.Gauge("gowarp_gvt_lag_seconds", "Wall-clock time between successive GVT applications on this LP.", true),
+		gvtCycles:    reg.Counter("gowarp_gvt_cycles_total", "Completed GVT computations (counted on the initiator).", true),
+		processed:    reg.Counter("gowarp_events_processed_total", "Events executed, including later-rolled-back and coast-forward executions.", true),
+		committed:    reg.Counter("gowarp_events_committed_total", "Events whose effects became permanent.", true),
+		rolledBack:   reg.Counter("gowarp_events_rolled_back_total", "Event executions undone by rollback.", true),
+		rollbacks:    reg.Counter("gowarp_rollbacks_total", "Rollback episodes.", true),
+		efficiency:   reg.Gauge("gowarp_efficiency", "Committed / processed events (1.0 = no wasted optimism).", true),
+		rollbackRate: reg.Gauge("gowarp_rollback_rate", "Rollback episodes per processed event.", true),
+		hitRatio:     reg.Gauge("gowarp_hit_ratio", "Cumulative lazy-cancellation hit ratio.", true),
+		meanChi:      reg.Gauge("gowarp_mean_checkpoint_interval", "Mean checkpoint interval chi across hosted objects.", true),
+		lazyObjects:  reg.Gauge("gowarp_lazy_objects", "Hosted objects currently under lazy cancellation.", true),
+		aggWindow:    reg.Gauge("gowarp_aggregation_window_seconds", "Mean adaptive aggregation window across remote destinations.", true),
+		physMsgs:     reg.Counter("gowarp_physical_msgs_sent_total", "Physical messages placed on the simulated wire.", true),
+		antiMsgs:     reg.Counter("gowarp_anti_msgs_sent_total", "Anti-messages sent.", true),
+	}
+}
+
+// publishMetrics refreshes this LP's slots from its counters and controller
+// state; called at each GVT application, the kernel's control period.
+func (lp *lpRun) publishMetrics(g vtime.Time) {
+	m := lp.met
+	id := lp.id
+	now := time.Now()
+	if !lp.lastGVTWall.IsZero() {
+		m.gvtLag.Set(id, now.Sub(lp.lastGVTWall).Seconds())
+	}
+	lp.lastGVTWall = now
+	if g.IsFinite() {
+		m.gvt.Set(0, float64(g))
+	}
+
+	st := &lp.st
+	m.gvtCycles.Set(id, float64(st.GVTCycles))
+	m.processed.Set(id, float64(st.EventsProcessed))
+	m.committed.Set(id, float64(st.EventsCommitted))
+	m.rolledBack.Set(id, float64(st.EventsRolledBack))
+	m.rollbacks.Set(id, float64(st.Rollbacks))
+	m.efficiency.Set(id, st.Efficiency())
+	if st.EventsProcessed > 0 {
+		m.rollbackRate.Set(id, float64(st.Rollbacks)/float64(st.EventsProcessed))
+	}
+	m.hitRatio.Set(id, st.HitRatio())
+	m.physMsgs.Set(id, float64(st.PhysicalMsgsSent))
+	m.antiMsgs.Set(id, float64(st.AntiMsgsSent))
+
+	meanChi, lazy, meanWindow := lp.controlSnapshot()
+	m.meanChi.Set(id, meanChi)
+	m.lazyObjects.Set(id, float64(lazy))
+	m.aggWindow.Set(id, meanWindow.Seconds())
+}

@@ -178,6 +178,8 @@ func (o *simObject) rollback(straggler *event.Event, isAnti bool) {
 		panic(fmt.Sprintf("core: object %d: snapshot mark %d outside processed window [%d,%d)",
 			o.id, snap.Mark, o.processedBase, o.absProcessed()))
 	}
+	var coasted int64
+	var coastDur time.Duration
 	if coast := o.processed[start:]; len(coast) > 0 {
 		t0 := time.Now()
 		o.coasting = true
@@ -186,12 +188,15 @@ func (o *simObject) rollback(straggler *event.Event, isAnti bool) {
 			o.execApp(e)
 		}
 		o.coasting = false
-		d := time.Since(t0)
-		o.ckpt.RecordCoastCost(d)
-		lp.st.CoastForwardTime += d
-		lp.st.CoastForwardEvents += int64(len(coast))
+		coastDur = time.Since(t0)
+		coasted = int64(len(coast))
+		o.ckpt.RecordCoastCost(coastDur)
+		lp.st.CoastForwardTime += coastDur
+		lp.st.CoastForwardEvents += coasted
 	}
 	o.ckpt.OnRestore(len(o.processed) - start)
+
+	lp.tr.Rollback(int32(o.id), int64(straggler.RecvTime), isAnti, rolled, coasted, coastDur)
 
 	if len(o.processed) > 0 {
 		o.lastExec = o.processed[len(o.processed)-1]

@@ -13,6 +13,7 @@ import (
 	"gowarp/internal/pq"
 	"gowarp/internal/statesave"
 	"gowarp/internal/stats"
+	"gowarp/internal/vtime"
 )
 
 // Run executes m under cfg on the parallel Time Warp kernel and returns the
@@ -33,6 +34,13 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 	}
 	copy(sh.lpOf, m.Partition)
 
+	start := time.Now()
+	cfg.Tracer.Bind(numLPs, start)
+	var met *runMetrics
+	if cfg.Metrics != nil {
+		met = newRunMetrics(cfg.Metrics, numLPs)
+	}
+
 	net := comm.NewNetwork(numLPs, cfg.Cost, cfg.InboxDepth)
 	lps := make([]*lpRun, numLPs)
 	for i := range lps {
@@ -44,12 +52,26 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 			running:  true,
 			idleTick: cfg.GVTPeriod / 4,
 			numLPs:   numLPs,
+			started:  start,
+			tr:       cfg.Tracer.LP(i),
+			met:      met,
 		}
 		if lp.idleTick <= 0 {
 			lp.idleTick = 250 * time.Microsecond
 		}
 		lp.ep = net.NewEndpoint(i, cfg.Aggregation, &lp.st)
 		lp.gvtMgr = gvt.NewManager(i, numLPs, lp.ep, cfg.GVTPeriod, &lp.st)
+		if tr := lp.tr; tr != nil {
+			lp.ep.TraceFlush = func(dst int, cause comm.FlushCause, events, bytes int) {
+				tr.Flush(int32(dst), int64(cause), int64(events), int64(bytes))
+			}
+			lp.ep.TraceWindow = func(dst int, oldW, newW time.Duration) {
+				tr.WindowAdjust(int32(dst), oldW, newW)
+			}
+			lp.gvtMgr.OnCycle = func(g vtime.Time, rounds int64, took time.Duration) {
+				tr.GVTCycle(int64(g), rounds, took)
+			}
+		}
 		lps[i] = lp
 	}
 
@@ -66,16 +88,22 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		o.ckpt = statesave.NewCheckpointer(cfg.Checkpoint)
 		sel := cancel.NewSelector(cfg.Cancellation)
 		o.out = cancel.NewManager(sel, lp.emitAnti, &lp.st)
+		if tr := lp.tr; tr != nil {
+			objID := int32(id)
+			o.ckpt.Hook = func(oldChi, newChi int, ec time.Duration) {
+				if oldChi != newChi {
+					tr.CheckpointAdjust(objID, oldChi, newChi, ec)
+				}
+			}
+			sel.Hook = func(to cancel.Strategy, hitRatio float64) {
+				tr.StrategySwitch(objID, to == cancel.Lazy, int64(hitRatio*1000))
+			}
+		}
 		sh.objs[id] = o
 		lp.objs = append(lp.objs, o)
 	}
 	for _, lp := range lps {
 		lp.sched = pq.NewScheduleHeap(len(lp.objs))
-	}
-
-	start := time.Now()
-	for _, lp := range lps {
-		lp.started = start
 	}
 	var wg sync.WaitGroup
 	panics := make([]interface{}, numLPs)

@@ -45,8 +45,8 @@ type LPTimeline struct {
 // the examples; one line per retained sample.
 func RenderTimeline(tls []LPTimeline, maxRows int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-4s %-12s %-12s %10s %10s %9s %6s %6s %12s\n",
-		"LP", "wall", "gvt", "processed", "committed", "rollbacks", "chi", "lazy", "aggwindow")
+	fmt.Fprintf(&b, "%-4s %-12s %-12s %10s %10s %9s %6s %6s %8s %12s\n",
+		"LP", "wall", "gvt", "processed", "committed", "rollbacks", "chi", "lazy", "hitratio", "aggwindow")
 	for _, tl := range tls {
 		step := 1
 		if maxRows > 0 && len(tl.Samples) > maxRows {
@@ -54,21 +54,21 @@ func RenderTimeline(tls []LPTimeline, maxRows int) string {
 		}
 		for i := 0; i < len(tl.Samples); i += step {
 			s := tl.Samples[i]
-			fmt.Fprintf(&b, "%-4d %-12s %-12s %10d %10d %9d %6.1f %6d %12s\n",
+			fmt.Fprintf(&b, "%-4d %-12s %-12s %10d %10d %9d %6.1f %6d %8.3f %12s\n",
 				tl.LP, s.Wall.Round(time.Millisecond), s.GVT,
 				s.EventsProcessed, s.EventsCommitted, s.Rollbacks,
-				s.MeanCheckpointInterval, s.LazyObjects,
+				s.MeanCheckpointInterval, s.LazyObjects, s.HitRatio,
 				s.AggregationWindow.Round(time.Microsecond))
 		}
 	}
 	return b.String()
 }
 
-// recordSample appends a timeline sample; called from applyGVT when
-// Config.Timeline is set.
-func (lp *lpRun) recordSample(g vtime.Time) {
-	var meanChi float64
-	lazy := 0
+// controlSnapshot summarizes the LP's on-line controller state: the mean
+// checkpoint interval and lazily-cancelling object count across hosted
+// objects, and the mean aggregation window across remote destinations. Both
+// the adaptation timeline and the live metrics sample it.
+func (lp *lpRun) controlSnapshot() (meanChi float64, lazy int, meanWindow time.Duration) {
 	for _, o := range lp.objs {
 		meanChi += float64(o.ckpt.Interval())
 		if o.out.Selector().Current() == cancel.Lazy {
@@ -78,7 +78,6 @@ func (lp *lpRun) recordSample(g vtime.Time) {
 	if len(lp.objs) > 0 {
 		meanChi /= float64(len(lp.objs))
 	}
-	var meanWindow time.Duration
 	if lp.numLPs > 1 {
 		var sum time.Duration
 		for dst := 0; dst < lp.numLPs; dst++ {
@@ -88,6 +87,13 @@ func (lp *lpRun) recordSample(g vtime.Time) {
 		}
 		meanWindow = sum / time.Duration(lp.numLPs-1)
 	}
+	return meanChi, lazy, meanWindow
+}
+
+// recordSample appends a timeline sample; called from applyGVT when
+// Config.Timeline is set.
+func (lp *lpRun) recordSample(g vtime.Time) {
+	meanChi, lazy, meanWindow := lp.controlSnapshot()
 	lp.timeline = append(lp.timeline, Sample{
 		Wall:                   time.Since(lp.started),
 		GVT:                    g,

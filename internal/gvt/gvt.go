@@ -42,6 +42,11 @@ type Manager struct {
 
 	// Rounds accumulates token circulations, for reports on protocol cost.
 	Rounds int64
+
+	// OnCycle, when non-nil, observes each completed GVT computation on the
+	// initiator: the new value, the token rounds it took, and its
+	// initiation-to-completion wall time. Called from the LP goroutine.
+	OnCycle func(g vtime.Time, rounds int64, took time.Duration)
 }
 
 // NewManager returns a manager for lp of numLPs, initiating (on LP 0 only)
@@ -98,6 +103,9 @@ func (m *Manager) MaybeInitiate(localMin vtime.Time, force bool) (g vtime.Time, 
 	if m.numLPs == 1 {
 		m.gvt = localMin
 		m.st.GVTCycles++
+		if m.OnCycle != nil {
+			m.OnCycle(localMin, 0, time.Since(m.startedAt))
+		}
 		return localMin, true
 	}
 	m.inProgress = true
@@ -128,7 +136,11 @@ func (m *Manager) OnToken(tok comm.Token, localMin vtime.Time) (g vtime.Time, fo
 			m.inProgress = false
 			m.gvt = vtime.Min(tok.M, tok.MMsg)
 			m.st.GVTCycles++
-			m.st.GVTTime += time.Since(m.startedAt)
+			took := time.Since(m.startedAt)
+			m.st.GVTTime += took
+			if m.OnCycle != nil {
+				m.OnCycle(m.gvt, int64(tok.Round)+1, took)
+			}
 			return m.gvt, true
 		}
 		// Whites still in transit; circulate another round with fresh

@@ -178,6 +178,12 @@ type Checkpointer struct {
 
 	// Adjustments counts interval changes, for the statistics report.
 	Adjustments int64
+
+	// Hook, when non-nil, observes every control decision of the dynamic
+	// controller — the interval before and after (equal when saturated at a
+	// clamp) and the cost index Ec observed over the period — plus external
+	// ForceInterval adjustments (with Ec zero). Set it before the run.
+	Hook func(oldChi, newChi int, ec time.Duration)
 }
 
 // NewCheckpointer returns a checkpointer for one object.
@@ -193,10 +199,18 @@ func NewCheckpointer(cfg Config) *Checkpointer {
 		},
 		ticker: control.NewTicker(cfg.Period),
 	}
+	// The control layer's decision hook carries the Ec sample; forward it
+	// through the checkpointer's own hook, resolved at call time so callers
+	// may attach after construction.
+	forward := func(cost float64, from, to int) {
+		if c.Hook != nil {
+			c.Hook(from, to, time.Duration(cost))
+		}
+	}
 	if cfg.Directional {
-		c.transfer = &control.DirectionalClimb{Margin: cfg.Margin}
+		c.transfer = &control.DirectionalClimb{Margin: cfg.Margin, Hook: forward}
 	} else {
-		c.transfer = &control.IncUnlessWorse{Margin: cfg.Margin}
+		c.transfer = &control.IncUnlessWorse{Margin: cfg.Margin, Hook: forward}
 	}
 	return c
 }
@@ -251,8 +265,12 @@ func (c *Checkpointer) ForceInterval(chi int) {
 	if chi > c.param.Max {
 		c.param.Max = chi
 	}
+	old := c.param.Value
 	c.param.Value = chi
 	c.Adjustments++
+	if c.Hook != nil {
+		c.Hook(old, chi, 0)
+	}
 }
 
 // RecordSaveCost accumulates the wall-clock cost of one checkpoint into Ec.

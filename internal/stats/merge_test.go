@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMergeCoversAllFields catches the classic drift bug: a new counter is
+// added to Counters but forgotten in Merge, silently zeroing it in merged
+// reports. Every field is set to a distinct nonzero value and must survive a
+// merge into a zero receiver.
+func TestMergeCoversAllFields(t *testing.T) {
+	var src Counters
+	sv := reflect.ValueOf(&src).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		if f.Kind() != reflect.Int64 { // time.Duration is an int64 kind too
+			t.Fatalf("field %s has kind %s; extend this test for non-int64 counters",
+				sv.Type().Field(i).Name, f.Kind())
+		}
+		f.SetInt(int64(i + 1))
+	}
+
+	var dst Counters
+	dst.Merge(&src)
+	dv := reflect.ValueOf(&dst).Elem()
+	for i := 0; i < dv.NumField(); i++ {
+		if got, want := dv.Field(i).Int(), int64(i+1); got != want {
+			t.Errorf("Merge dropped field %s: got %d, want %d",
+				dv.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestMergeAccumulates checks merging is additive, not assignment.
+func TestMergeAccumulates(t *testing.T) {
+	var a, b Counters
+	a.Rollbacks = 3
+	b.Rollbacks = 4
+	a.Merge(&b)
+	a.Merge(&b)
+	if a.Rollbacks != 11 {
+		t.Errorf("Rollbacks after two merges = %d, want 11", a.Rollbacks)
+	}
+}

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gowarp/internal/stats"
+)
+
+// RunSummary is the machine-readable per-run artifact written by
+// `twsim -json-out`: enough to regress throughput, efficiency and the
+// on-line controllers' end states across commits without parsing tables.
+type RunSummary struct {
+	// Model names the simulation model.
+	Model string `json:"model"`
+	// Flags records the CLI configuration that produced the run.
+	Flags map[string]string `json:"flags,omitempty"`
+	// ElapsedSeconds is the wall-clock duration of the parallel phase.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// FinalGVT is the final Global Virtual Time ("+inf" when drained).
+	FinalGVT string `json:"final_gvt"`
+	// EventsPerSec is committed events per wall-clock second.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Efficiency is committed / processed events.
+	Efficiency float64 `json:"efficiency"`
+	// HitRatio is the overall lazy-cancellation hit ratio.
+	HitRatio float64 `json:"hit_ratio"`
+	// MeanRollbackLength is events undone per rollback episode.
+	MeanRollbackLength float64 `json:"mean_rollback_length"`
+	// Stats is the full merged counter tally.
+	Stats stats.Counters `json:"stats"`
+	// PerObject carries per-object controller end states.
+	PerObject []stats.PerObject `json:"per_object,omitempty"`
+	// TraceDropped is the number of trace events lost to ring wraparound
+	// (0 when tracing was off or the ring sufficed).
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
+}
+
+// BenchResult is the machine-readable per-experiment artifact written by
+// `twbench -json <dir>` as BENCH_<name>.json, tracking the performance
+// trajectory across commits.
+type BenchResult struct {
+	// Name is the experiment name (e.g. "fig5").
+	Name string `json:"name"`
+	// Title is the human-readable experiment title.
+	Title string `json:"title"`
+	// Rows holds one entry per (series, swept-x) measurement.
+	Rows []BenchRow `json:"rows"`
+}
+
+// BenchRow is one measured point of a benchmark experiment.
+type BenchRow struct {
+	Series       string  `json:"series"`
+	X            float64 `json:"x"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Efficiency   float64 `json:"efficiency"`
+	Rollbacks    int64   `json:"rollbacks"`
+}
+
+// WriteJSON marshals v with indentation and writes it to path.
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: marshal %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file renders recorded traces in two interchange formats:
+//
+//   - JSONL: one self-describing JSON object per line, for ad-hoc analysis
+//     with jq / pandas / DuckDB.
+//   - Chrome trace_event JSON, loadable by chrome://tracing and Perfetto:
+//     each LP appears as a thread, rollbacks as duration slices, GVT as a
+//     counter track, everything else as instant events.
+//
+// Both are written field-by-field (no encoding/json) so output is byte-for-
+// byte deterministic given the same events, which the golden tests rely on.
+
+// us renders a duration as fractional microseconds.
+func us(d int64) string { return fmt.Sprintf("%.3f", float64(d)/1e3) }
+
+// jsonlArgs renders the kind-specific tail of a JSONL record.
+func jsonlArgs(ev Event) string {
+	switch ev.Kind {
+	case KindRollback:
+		cause := "straggler"
+		if ev.A == CauseAnti {
+			cause = "anti"
+		}
+		return fmt.Sprintf(`"object":%d,"vt":%d,"cause":%q,"rolled":%d,"coasted":%d,"coast_us":%s`,
+			ev.Object, ev.VT, cause, ev.B, ev.C, us(int64(ev.Dur)))
+	case KindCheckpointAdjust:
+		return fmt.Sprintf(`"object":%d,"old_chi":%d,"new_chi":%d,"ec_us":%s`,
+			ev.Object, ev.A, ev.B, us(int64(ev.Dur)))
+	case KindStrategySwitch:
+		to := "aggressive"
+		if ev.A == 1 {
+			to = "lazy"
+		}
+		return fmt.Sprintf(`"object":%d,"to":%q,"hit_ratio":%.3f`,
+			ev.Object, to, float64(ev.B)/1000)
+	case KindGVT:
+		return fmt.Sprintf(`"vt":%d,"rounds":%d,"cycle_us":%s`,
+			ev.VT, ev.A, us(int64(ev.Dur)))
+	case KindFlush:
+		return fmt.Sprintf(`"dst":%d,"cause":%q,"events":%d,"bytes":%d`,
+			ev.Object, flushCauseName(ev.A), ev.B, ev.C)
+	case KindWindowAdjust:
+		return fmt.Sprintf(`"dst":%d,"old_us":%s,"new_us":%s`,
+			ev.Object, us(ev.A), us(ev.B))
+	default:
+		return fmt.Sprintf(`"a":%d,"b":%d,"c":%d`, ev.A, ev.B, ev.C)
+	}
+}
+
+// flushCauseName mirrors comm.FlushCause without importing it (telemetry
+// sits below the communication layer in the dependency order).
+func flushCauseName(c int64) string {
+	switch c {
+	case 0:
+		return "window"
+	case 1:
+		return "capacity"
+	case 2:
+		return "urgent"
+	default:
+		return "idle"
+	}
+}
+
+// WriteJSONL writes events one JSON object per line.
+func WriteJSONL(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range evs {
+		if _, err := fmt.Fprintf(bw, `{"wall_us":%s,"kind":%q,"lp":%d,%s}`+"\n",
+			us(int64(ev.Wall)), ev.Kind.String(), ev.LP, jsonlArgs(ev)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes the tracer's merged events one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error { return WriteJSONL(w, t.Events()) }
+
+// WriteChrome writes events in Chrome trace_event JSON format: an object
+// with a traceEvents array, loadable by chrome://tracing and Perfetto.
+// Timestamps are microseconds since the run started; each LP is rendered as
+// a thread of process 0, rollbacks as "X" duration slices covering their
+// coast-forward cost, GVT as a "C" counter track, and the remaining kinds
+// as "i" instant events.
+func WriteChrome(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, `{"displayTimeUnit":"ms","traceEvents":[`+"\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	emit(`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"gowarp"}}`)
+	seen := map[int32]bool{}
+	for _, ev := range evs {
+		if !seen[ev.LP] {
+			seen[ev.LP] = true
+			emit(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"LP %d"}}`, ev.LP, ev.LP)
+		}
+		ts := us(int64(ev.Wall))
+		switch ev.Kind {
+		case KindRollback:
+			emit(`{"name":"rollback","cat":"rollback","ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d,"args":{%s}}`,
+				ts, us(int64(ev.Dur)), ev.LP, jsonlArgs(ev))
+		case KindGVT:
+			emit(`{"name":"gvt cycle","cat":"gvt","ph":"i","s":"g","ts":%s,"pid":0,"tid":%d,"args":{%s}}`,
+				ts, ev.LP, jsonlArgs(ev))
+			// A counter track plots GVT progress; skip the infinite
+			// sentinels (initial -inf, drained +inf) that would destroy
+			// the scale.
+			if ev.VT != math.MaxInt64 && ev.VT != math.MinInt64 {
+				emit(`{"name":"GVT","ph":"C","ts":%s,"pid":0,"args":{"gvt":%d}}`, ts, ev.VT)
+			}
+		default:
+			emit(`{"name":%q,"cat":%q,"ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{%s}}`,
+				ev.Kind.String(), ev.Kind.String(), ts, ev.LP, jsonlArgs(ev))
+		}
+	}
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChrome writes the tracer's merged events in Chrome trace_event format.
+func (t *Tracer) WriteChrome(w io.Writer) error { return WriteChrome(w, t.Events()) }

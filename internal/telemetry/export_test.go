@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenEvents is one hand-built event of every kind, in wall order, as the
+// kernel would have recorded them.
+func goldenEvents() []Event {
+	return []Event{
+		{Kind: KindRollback, Wall: 1500, LP: 0, Object: 3, VT: 42, A: CauseStraggler, B: 5, C: 2, Dur: 2500},
+		{Kind: KindCheckpointAdjust, Wall: 2000, LP: 1, Object: 7, A: 4, B: 8, Dur: 125000},
+		{Kind: KindStrategySwitch, Wall: 3000, LP: 1, Object: 7, A: 1, B: 375},
+		{Kind: KindGVT, Wall: 4000, LP: 0, Object: -1, VT: 100, A: 2, Dur: 50000},
+		{Kind: KindFlush, Wall: 5000, LP: 2, Object: 1, A: 1, B: 12, C: 288},
+		{Kind: KindWindowAdjust, Wall: 6000, LP: 2, Object: 1, A: 100000, B: 50000},
+	}
+}
+
+func TestWriteJSONLGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSONL(&b, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"wall_us":1.500,"kind":"rollback","lp":0,"object":3,"vt":42,"cause":"straggler","rolled":5,"coasted":2,"coast_us":2.500}
+{"wall_us":2.000,"kind":"checkpoint_adjust","lp":1,"object":7,"old_chi":4,"new_chi":8,"ec_us":125.000}
+{"wall_us":3.000,"kind":"strategy_switch","lp":1,"object":7,"to":"lazy","hit_ratio":0.375}
+{"wall_us":4.000,"kind":"gvt","lp":0,"vt":100,"rounds":2,"cycle_us":50.000}
+{"wall_us":5.000,"kind":"flush","lp":2,"dst":1,"cause":"capacity","events":12,"bytes":288}
+{"wall_us":6.000,"kind":"window_adjust","lp":2,"dst":1,"old_us":100.000,"new_us":50.000}
+`
+	if got := b.String(); got != want {
+		t.Errorf("JSONL output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Every line must be standalone valid JSON.
+	for i, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Errorf("line %d is not valid JSON: %s", i, line)
+		}
+	}
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	evs := []Event{
+		{Kind: KindRollback, Wall: 1500, LP: 0, Object: 3, VT: 42, A: CauseStraggler, B: 5, C: 2, Dur: 2500},
+		{Kind: KindGVT, Wall: 4000, LP: 0, Object: -1, VT: 100, A: 2, Dur: 50000},
+	}
+	var b strings.Builder
+	if err := WriteChrome(&b, evs); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"gowarp"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"LP 0"}},
+{"name":"rollback","cat":"rollback","ph":"X","ts":1.500,"dur":2.500,"pid":0,"tid":0,"args":{"object":3,"vt":42,"cause":"straggler","rolled":5,"coasted":2,"coast_us":2.500}},
+{"name":"gvt cycle","cat":"gvt","ph":"i","s":"g","ts":4.000,"pid":0,"tid":0,"args":{"vt":100,"rounds":2,"cycle_us":50.000}},
+{"name":"GVT","ph":"C","ts":4.000,"pid":0,"args":{"gvt":100}}
+]}
+`
+	if got := b.String(); got != want {
+		t.Errorf("Chrome output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWriteChromeParses checks that the full-kind trace is one valid JSON
+// document with the structure trace viewers expect.
+func TestWriteChromeParses(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChrome(&b, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	// 1 process_name + 3 thread_name (LPs 0,1,2) + 6 events + 1 GVT counter.
+	if len(doc.TraceEvents) != 11 {
+		t.Errorf("traceEvents count = %d, want 11", len(doc.TraceEvents))
+	}
+	byName := map[string]int{}
+	for _, te := range doc.TraceEvents {
+		byName[te.Name]++
+	}
+	for name, want := range map[string]int{
+		"process_name": 1, "thread_name": 3, "rollback": 1, "gvt cycle": 1,
+		"GVT": 1, "checkpoint_adjust": 1, "strategy_switch": 1, "flush": 1,
+		"window_adjust": 1,
+	} {
+		if byName[name] != want {
+			t.Errorf("event %q count = %d, want %d", name, byName[name], want)
+		}
+	}
+}
+
+// TestChromeSkipsInfiniteGVT checks the GVT counter track omits the +-inf
+// sentinel values that would destroy the viewer's scale.
+func TestChromeSkipsInfiniteGVT(t *testing.T) {
+	evs := []Event{
+		{Kind: KindGVT, Wall: 1000, LP: 0, Object: -1, VT: math.MinInt64, A: 1, Dur: 10},
+		{Kind: KindGVT, Wall: 2000, LP: 0, Object: -1, VT: 50, A: 1, Dur: 10},
+		{Kind: KindGVT, Wall: 3000, LP: 0, Object: -1, VT: math.MaxInt64, A: 1, Dur: 10},
+	}
+	var b strings.Builder
+	if err := WriteChrome(&b, evs); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), `"name":"GVT"`); got != 1 {
+		t.Errorf("GVT counter samples = %d, want 1 (sentinels skipped)\n%s", got, b.String())
+	}
+	if got := strings.Count(b.String(), `"name":"gvt cycle"`); got != 3 {
+		t.Errorf("gvt cycle instants = %d, want 3 (all cycles kept)", got)
+	}
+}
+
+func TestTracerExportEndToEnd(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Bind(2, time.Now())
+	tr.LP(0).GVTCycle(10, 1, time.Microsecond)
+	tr.LP(1).Rollback(5, 20, true, 3, 1, time.Microsecond)
+	var jl, ch strings.Builder
+	if err := tr.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChrome(&ch); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(jl.String(), "\n"); got != 2 {
+		t.Errorf("JSONL lines = %d, want 2", got)
+	}
+	if !strings.Contains(jl.String(), `"cause":"anti"`) {
+		t.Errorf("JSONL missing anti-message rollback cause:\n%s", jl.String())
+	}
+	if !json.Valid([]byte(ch.String())) {
+		t.Errorf("Chrome trace from tracer not valid JSON:\n%s", ch.String())
+	}
+}

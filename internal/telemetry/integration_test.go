@@ -1,0 +1,170 @@
+package telemetry_test
+
+// Integration tests driving the full kernel with telemetry attached. They
+// live in an external test package so they can import the root gowarp
+// package, which itself depends on internal/telemetry.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gowarp"
+	"gowarp/internal/telemetry"
+)
+
+func pholdModel() *gowarp.Model {
+	return gowarp.NewPHOLD(gowarp.PHOLDConfig{
+		Objects: 16, TokensPerObject: 4, MeanDelay: 20,
+		Locality: 0.5, LPs: 2, Seed: 7,
+	})
+}
+
+func adaptiveConfig() gowarp.Config {
+	cfg := gowarp.DefaultConfig(20_000)
+	cfg.GVTPeriod = time.Millisecond
+	cfg.Checkpoint = gowarp.CheckpointConfig{
+		Mode: gowarp.DynamicCheckpointing, Interval: 1,
+		MinInterval: 1, MaxInterval: 64, Period: 64,
+	}
+	cfg.Cancellation = gowarp.CancellationConfig{Mode: gowarp.DynamicCancellation}
+	cfg.Aggregation = gowarp.AggregationConfig{Policy: gowarp.SAAW, Window: time.Millisecond}
+	return cfg
+}
+
+// TestKernelTrace runs an adaptive simulation with tracing on and checks the
+// merged trace contains the event kinds the run must have produced.
+func TestKernelTrace(t *testing.T) {
+	tracer := telemetry.NewTracer(0)
+	cfg := adaptiveConfig()
+	cfg.Tracer = tracer
+	res, err := gowarp.Run(pholdModel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := tracer.Events()
+	if len(evs) == 0 {
+		t.Fatal("tracer recorded no events")
+	}
+	byKind := map[telemetry.Kind]int{}
+	for _, ev := range evs {
+		byKind[ev.Kind]++
+	}
+	// GVT cycles always happen; flushes happen with SAAW on an inter-LP
+	// workload. Rollback and controller events depend on the interleaving,
+	// so only the stats-backed kinds are asserted strictly.
+	if byKind[telemetry.KindGVT] == 0 {
+		t.Errorf("no GVT cycle events in trace (kinds: %v)", byKind)
+	}
+	if byKind[telemetry.KindGVT] != int(res.Stats.GVTCycles) {
+		t.Errorf("trace has %d GVT events, stats counted %d cycles",
+			byKind[telemetry.KindGVT], res.Stats.GVTCycles)
+	}
+	if res.Stats.PhysicalMsgsSent > 0 && byKind[telemetry.KindFlush] == 0 {
+		t.Errorf("physical messages were sent but no flush events recorded")
+	}
+	if res.Stats.Rollbacks > 0 && byKind[telemetry.KindRollback] != int(res.Stats.Rollbacks) {
+		t.Errorf("trace has %d rollback events, stats counted %d",
+			byKind[telemetry.KindRollback], res.Stats.Rollbacks)
+	}
+	// Events must come out wall-clock ordered.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Wall < evs[i-1].Wall {
+			t.Fatalf("events out of order at %d: %v after %v", i, evs[i].Wall, evs[i-1].Wall)
+		}
+	}
+	// Both exporters must render the real trace without error.
+	if err := tracer.WriteJSONL(io.Discard); err != nil {
+		t.Errorf("WriteJSONL: %v", err)
+	}
+	if err := tracer.WriteChrome(io.Discard); err != nil {
+		t.Errorf("WriteChrome: %v", err)
+	}
+}
+
+// TestLiveMetricsScrape scrapes the metrics endpoint concurrently with a
+// running simulation — under -race this exercises the atomic slot protocol
+// between LP goroutines and HTTP readers.
+func TestLiveMetricsScrape(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, err := telemetry.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var last string
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+			if err != nil {
+				continue
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			last = string(body)
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	cfg := adaptiveConfig()
+	cfg.Metrics = reg
+	res, err := gowarp.Run(pholdModel(), cfg)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EventsCommitted == 0 {
+		t.Fatal("simulation committed no events")
+	}
+	// The registry holds the final sample; the scraper saw some snapshot.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	final := b.String()
+	for _, want := range []string{
+		"# TYPE gowarp_gvt gauge",
+		"gowarp_events_processed_total{lp=",
+		"gowarp_efficiency{lp=",
+	} {
+		if !strings.Contains(final, want) {
+			t.Errorf("final metrics missing %q:\n%s", want, final)
+		}
+	}
+	mu.Lock()
+	scraped := last
+	mu.Unlock()
+	if scraped != "" && !strings.Contains(scraped, "gowarp_") {
+		t.Errorf("mid-run scrape contained no gowarp metrics:\n%s", scraped)
+	}
+}
+
+// TestDisabledTelemetryIsInert checks a run with no tracer and no registry
+// behaves identically to the seed kernel (nil hooks everywhere).
+func TestDisabledTelemetryIsInert(t *testing.T) {
+	cfg := adaptiveConfig()
+	res, err := gowarp.Run(pholdModel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EventsCommitted == 0 {
+		t.Fatal("simulation committed no events")
+	}
+}

@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a live metrics registry: a set of named metrics with one
+// atomic float64 slot per logical process (or a single global slot), sampled
+// by the kernel each control period and rendered on demand in Prometheus
+// text-exposition format or as an expvar map. Writers (LP goroutines) touch
+// only atomic slots; readers (HTTP scrapes) never block writers.
+type Registry struct {
+	mu      sync.RWMutex
+	numLPs  int
+	order   []string
+	metrics map[string]*Metric
+}
+
+// NewRegistry returns an empty registry. Hand it to the kernel via the run
+// configuration; the kernel binds it and creates its metric set at run
+// start, so a scrape before (or between) runs just renders nothing.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*Metric{}}
+}
+
+// Bind sizes per-LP metrics for numLPs logical processes, discarding any
+// metrics from a previous run. Nil-safe.
+func (r *Registry) Bind(numLPs int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.numLPs = numLPs
+	r.order = nil
+	r.metrics = map[string]*Metric{}
+}
+
+// Metric is one named gauge or counter. Values are float64 bits in atomic
+// slots: slot i belongs to LP i (per-LP metrics) or slot 0 to the whole run.
+type Metric struct {
+	name, help, typ string
+	perLP           bool
+	vals            []atomic.Uint64
+}
+
+func (r *Registry) metric(name, help, typ string, perLP bool) *Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	slots := 1
+	if perLP && r.numLPs > 1 {
+		slots = r.numLPs
+	}
+	m := &Metric{name: name, help: help, typ: typ, perLP: perLP, vals: make([]atomic.Uint64, slots)}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Gauge registers (or fetches) a gauge. perLP gives the metric one labelled
+// series per logical process; otherwise it is a single global series.
+func (r *Registry) Gauge(name, help string, perLP bool) *Metric {
+	return r.metric(name, help, "gauge", perLP)
+}
+
+// Counter registers (or fetches) a cumulative counter.
+func (r *Registry) Counter(name, help string, perLP bool) *Metric {
+	return r.metric(name, help, "counter", perLP)
+}
+
+// Set stores v into lp's slot. Global metrics ignore lp. Nil-safe.
+func (m *Metric) Set(lp int, v float64) {
+	if m == nil {
+		return
+	}
+	if len(m.vals) == 1 {
+		lp = 0
+	}
+	if lp < 0 || lp >= len(m.vals) {
+		return
+	}
+	m.vals[lp].Store(math.Float64bits(v))
+}
+
+// Get returns lp's current value (slot 0 for global metrics).
+func (m *Metric) Get(lp int) float64 {
+	if m == nil {
+		return 0
+	}
+	if len(m.vals) == 1 {
+		lp = 0
+	}
+	if lp < 0 || lp >= len(m.vals) {
+		return 0
+	}
+	return math.Float64frombits(m.vals[lp].Load())
+}
+
+// fmtVal renders a metric value the Prometheus way (no exponent for the
+// common integral case).
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every metric in the text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]*Metric, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.RUnlock()
+	for _, m := range metrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ); err != nil {
+			return err
+		}
+		if !m.perLP {
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, fmtVal(m.Get(0))); err != nil {
+				return err
+			}
+			continue
+		}
+		for lp := range m.vals {
+			if _, err := fmt.Fprintf(w, "%s{lp=\"%d\"} %s\n", m.name, lp, fmtVal(m.Get(lp))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the current values as a plain map — per-LP metrics map
+// to a slice indexed by LP. It backs the expvar export.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	if r == nil {
+		return out
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		m := r.metrics[name]
+		if !m.perLP {
+			out[name] = m.Get(0)
+			continue
+		}
+		vs := make([]float64, len(m.vals))
+		for i := range vs {
+			vs[i] = m.Get(i)
+		}
+		out[name] = vs
+	}
+	return out
+}
+
+// expvarOnce guards against double-publishing under the fixed expvar name
+// when several servers are started in one process (tests, repeated runs).
+var expvarOnce sync.Once
+
+// publishExpvar exposes the registry under the "gowarp" expvar name. The
+// last-published registry wins when servers are recreated; expvar has no
+// unpublish, so the indirection goes through a process-wide pointer.
+var expvarReg atomic.Pointer[Registry]
+
+func publishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("gowarp", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}
+
+// Handler returns an http.Handler serving the registry: /metrics in
+// Prometheus text format and /debug/vars as expvar JSON.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// MetricsServer is a running metrics HTTP endpoint; Close shuts it down.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server on addr (host:port; port 0 picks a free one)
+// exposing reg at /metrics and /debug/vars. It returns once the listener is
+// bound; scraping works for the lifetime of the process or until Close.
+func Serve(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: metrics listener: %w", err)
+	}
+	publishExpvar(reg)
+	srv := &http.Server{Handler: reg.Handler()}
+	go srv.Serve(ln)
+	return &MetricsServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// SortedNames returns the registered metric names, sorted, for tests.
+func (r *Registry) SortedNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,273 @@
+// Package telemetry is the kernel's observability substrate: a per-LP,
+// allocation-free structured trace recorder with JSONL and Chrome
+// trace_event exporters, a live metrics registry served in Prometheus
+// text-exposition format (plus expvar), and machine-readable run-artifact
+// helpers. The paper's thesis is that Time Warp sub-algorithms should be
+// steered by sampled outputs; this package makes those outputs observable
+// while the simulation runs instead of inferable after it ends.
+//
+// Everything here is nil-safe by design: a nil *Tracer hands out nil
+// *LPTrace recorders, and every recording method on a nil receiver is a
+// no-op, so the disabled path costs a single pointer comparison on kernel
+// hot paths.
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// Kind identifies the type of a trace event.
+type Kind uint8
+
+const (
+	// KindRollback is one rollback episode: cause, events undone,
+	// coast-forward cost.
+	KindRollback Kind = iota
+	// KindCheckpointAdjust is a dynamic checkpoint-interval change.
+	KindCheckpointAdjust
+	// KindStrategySwitch is a cancellation-strategy change on one object.
+	KindStrategySwitch
+	// KindGVT is a completed GVT computation (recorded by the initiator).
+	KindGVT
+	// KindFlush is one aggregation-buffer transmission.
+	KindFlush
+	// KindWindowAdjust is a SAAW aggregation-window change.
+	KindWindowAdjust
+)
+
+// String names the kind as it appears in exported traces.
+func (k Kind) String() string {
+	switch k {
+	case KindRollback:
+		return "rollback"
+	case KindCheckpointAdjust:
+		return "checkpoint_adjust"
+	case KindStrategySwitch:
+		return "strategy_switch"
+	case KindGVT:
+		return "gvt"
+	case KindFlush:
+		return "flush"
+	case KindWindowAdjust:
+		return "window_adjust"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one structured trace record. It is a fixed-size, pointer-free
+// value so the per-LP ring buffers never allocate while recording. The
+// meaning of VT, Dur and the A/B/C arguments depends on Kind; the exporters
+// translate them to named fields (see export.go).
+type Event struct {
+	// Wall is the time since the run started.
+	Wall time.Duration
+	// Dur is the episode duration, for kinds that span time (rollback
+	// coast-forward, GVT cycles, checkpoint-control periods).
+	Dur time.Duration
+	// VT is the virtual time the event is about (straggler receive time,
+	// GVT value); 0 when not meaningful.
+	VT int64
+	// A, B, C are kind-specific arguments.
+	A, B, C int64
+	// LP is the recording logical process.
+	LP int32
+	// Object is the simulation object (or destination LP for comm events);
+	// -1 when not applicable.
+	Object int32
+	// Kind identifies the event type.
+	Kind Kind
+}
+
+// Rollback causes (Event.A for KindRollback).
+const (
+	CauseStraggler = iota // a positive message in the processed past
+	CauseAnti             // an anti-message for a processed event
+)
+
+// DefaultCapacity is the per-LP ring capacity used when NewTracer is given
+// a non-positive capacity (~64k events, a few MB per LP).
+const DefaultCapacity = 1 << 16
+
+// Tracer owns the per-LP trace recorders for one run. Construct it with
+// NewTracer, hand it to the kernel via the run configuration; the kernel
+// calls Bind once it knows the LP count, and each LP goroutine records
+// through its own LPTrace with no cross-LP synchronization. After the run
+// joins, Events merges the rings into one wall-clock-ordered slice.
+type Tracer struct {
+	capacity int
+	start    time.Time
+	lps      []*LPTrace
+}
+
+// NewTracer returns a tracer whose per-LP rings hold capacity events each
+// (DefaultCapacity when capacity <= 0). When a ring fills, the oldest
+// events are overwritten: a trace keeps the most recent window of activity.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// Bind sizes the tracer for numLPs logical processes and anchors wall-clock
+// zero at start. The kernel calls it at run start; calling Bind on a nil
+// tracer is a no-op. Rebinding discards any previously recorded events.
+func (t *Tracer) Bind(numLPs int, start time.Time) {
+	if t == nil {
+		return
+	}
+	t.start = start
+	t.lps = make([]*LPTrace, numLPs)
+	for i := range t.lps {
+		t.lps[i] = &LPTrace{
+			lp:    int32(i),
+			start: start,
+			buf:   make([]Event, t.capacity),
+		}
+	}
+}
+
+// LP returns the recorder owned by logical process i, or nil when the
+// tracer itself is nil or unbound — callers hold the result and record
+// through it without further nil checks on the tracer.
+func (t *Tracer) LP(i int) *LPTrace {
+	if t == nil || i >= len(t.lps) {
+		return nil
+	}
+	return t.lps[i]
+}
+
+// Events merges every LP's ring into one slice ordered by wall time.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	var all []Event
+	for _, lp := range t.lps {
+		all = append(all, lp.events()...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Wall < all[j].Wall })
+	return all
+}
+
+// Dropped returns the number of events overwritten across all rings.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	var n int64
+	for _, lp := range t.lps {
+		if lp.n > uint64(len(lp.buf)) {
+			n += int64(lp.n) - int64(len(lp.buf))
+		}
+	}
+	return n
+}
+
+// LPTrace is one logical process's trace ring. It is written only by the
+// owning LP goroutine; reads (Events) happen after the LPs join. All
+// recording methods are no-ops on a nil receiver.
+type LPTrace struct {
+	lp    int32
+	start time.Time
+	buf   []Event
+	n     uint64 // lifetime events recorded
+}
+
+func (t *LPTrace) record(ev Event) {
+	ev.Wall = time.Since(t.start)
+	ev.LP = t.lp
+	t.buf[t.n%uint64(len(t.buf))] = ev
+	t.n++
+}
+
+// events returns the retained events oldest-first.
+func (t *LPTrace) events() []Event {
+	if t == nil {
+		return nil
+	}
+	c := uint64(len(t.buf))
+	if t.n <= c {
+		return t.buf[:t.n]
+	}
+	at := t.n % c
+	out := make([]Event, 0, c)
+	out = append(out, t.buf[at:]...)
+	out = append(out, t.buf[:at]...)
+	return out
+}
+
+// Len returns the number of retained events.
+func (t *LPTrace) Len() int {
+	if t == nil {
+		return 0
+	}
+	if c := uint64(len(t.buf)); t.n > c {
+		return int(c)
+	}
+	return int(t.n)
+}
+
+// Rollback records one rollback episode on object obj: the straggler's
+// receive time and cause, the number of events undone, and the
+// coast-forward re-execution count and wall cost.
+func (t *LPTrace) Rollback(obj int32, stragglerVT int64, anti bool, rolled, coasted int64, coastDur time.Duration) {
+	if t == nil {
+		return
+	}
+	cause := int64(CauseStraggler)
+	if anti {
+		cause = CauseAnti
+	}
+	t.record(Event{Kind: KindRollback, Object: obj, VT: stragglerVT, A: cause, B: rolled, C: coasted, Dur: coastDur})
+}
+
+// CheckpointAdjust records a checkpoint-interval change on object obj, with
+// the cost index Ec observed over the control period that triggered it.
+func (t *LPTrace) CheckpointAdjust(obj int32, oldChi, newChi int, ec time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: KindCheckpointAdjust, Object: obj, A: int64(oldChi), B: int64(newChi), Dur: ec})
+}
+
+// StrategySwitch records a cancellation-strategy change on object obj.
+// lazy is the new strategy; hitPermille is the windowed hit ratio in
+// thousandths at the decision point.
+func (t *LPTrace) StrategySwitch(obj int32, lazy bool, hitPermille int64) {
+	if t == nil {
+		return
+	}
+	to := int64(0)
+	if lazy {
+		to = 1
+	}
+	t.record(Event{Kind: KindStrategySwitch, Object: obj, A: to, B: hitPermille})
+}
+
+// GVTCycle records a completed GVT computation: the new value, the token
+// rounds it took, and its initiation-to-completion wall time.
+func (t *LPTrace) GVTCycle(gvt int64, rounds int64, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: KindGVT, Object: -1, VT: gvt, A: rounds, Dur: dur})
+}
+
+// Flush records one aggregation-buffer transmission to destination LP dst.
+func (t *LPTrace) Flush(dst int32, cause, events, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: KindFlush, Object: dst, A: cause, B: events, C: bytes})
+}
+
+// WindowAdjust records a SAAW aggregation-window change for destination dst.
+func (t *LPTrace) WindowAdjust(dst int32, oldW, newW time.Duration) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: KindWindowAdjust, Object: dst, A: int64(oldW), B: int64(newW)})
+}
