@@ -51,6 +51,7 @@ func main() {
 		padding   = flag.Int("state-padding", 0, "bytes of padded state per object")
 
 		verify     = flag.Bool("verify", false, "also run the sequential kernel and compare committed events and final states")
+		auditRun   = flag.Bool("audit", false, "check the Time Warp invariants on-line during the run; nonzero exit on any violation")
 		perObject  = flag.Bool("per-object", false, "print per-object strategy/interval summary")
 		sequential = flag.Bool("sequential", false, "run only the sequential reference kernel")
 
@@ -189,6 +190,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "twsim: serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 
+	var auditor *gowarp.Auditor
+	if *auditRun {
+		auditor = gowarp.NewAuditor()
+		cfg.Audit = auditor
+	}
+
 	res, err := gowarp.Run(m, cfg)
 	if err != nil {
 		fatal(err)
@@ -214,6 +221,7 @@ func main() {
 			Efficiency:         res.Stats.Efficiency(),
 			HitRatio:           res.Stats.HitRatio(),
 			MeanRollbackLength: res.Stats.MeanRollbackLength(),
+			FinalStateHash:     gowarp.HashStates(res.FinalStates),
 			Stats:              res.Stats,
 			PerObject:          res.PerObject,
 			TraceDropped:       tracer.Dropped(),
@@ -253,6 +261,13 @@ func main() {
 			res.Stats.EventsCommitted, seq.EventsExecuted, okStr(ok), okStr(states))
 		if !ok || !states {
 			os.Exit(1)
+		}
+	}
+
+	if auditor != nil {
+		fmt.Print(auditor.Report())
+		if err := auditor.Err(); err != nil {
+			fatal(err)
 		}
 	}
 }

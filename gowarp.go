@@ -39,6 +39,7 @@ import (
 	"gowarp/internal/apps/qnet"
 	"gowarp/internal/apps/raid"
 	"gowarp/internal/apps/smmp"
+	"gowarp/internal/audit"
 	"gowarp/internal/cancel"
 	"gowarp/internal/comm"
 	"gowarp/internal/conservative"
@@ -233,6 +234,28 @@ func WriteJSON(path string, v any) error { return telemetry.WriteJSON(path, v) }
 func RunConservative(m *Model, cfg ConservativeConfig) (*ConservativeResult, error) {
 	return conservative.Run(m, cfg)
 }
+
+// Runtime invariant auditing (see internal/audit): an Auditor checks the
+// Time Warp invariants on-line — commit/GVT safety, execution order,
+// anti-message pairing, message conservation, checkpoint integrity — while a
+// run executes.
+type (
+	// Auditor is the runtime invariant checker (set Config.Audit).
+	Auditor = audit.Auditor
+	// AuditViolation is one recorded invariant violation.
+	AuditViolation = audit.Violation
+)
+
+// NewAuditor returns an invariant auditor ready to set as Config.Audit. After
+// the run, Auditor.Err reports any violations and Auditor.Report renders the
+// full tally.
+func NewAuditor() *Auditor { return audit.New() }
+
+// HashStates returns a structural hash of a run's final object states
+// (Result.FinalStates or SeqResult.FinalStates): equal hashes mean
+// semantically identical outcomes regardless of pointer identity or map
+// ordering inside the states.
+func HashStates(states []State) uint64 { return audit.HashStates(states) }
 
 // Partitioning utilities (the paper notes the optimal cancellation strategy
 // "is sensitive to the partitioning scheme"; its model generators partition

@@ -1,0 +1,188 @@
+package audit
+
+import (
+	"math"
+	"reflect"
+
+	"gowarp/internal/model"
+)
+
+// HashState returns a deterministic 64-bit structural hash of an arbitrary
+// value, intended for model states. It is what the auditor stamps into
+// checkpoints (invariant f) and what the differential oracle compares across
+// kernels, so it is defined to be *structural*:
+//
+//   - pointer identity is ignored — two isomorphic states hash equal even
+//     when one shares substructure and the other holds deep copies;
+//   - map iteration order does not affect the result;
+//   - nil and empty slices and maps hash identically (model Clone methods
+//     routinely turn one into the other);
+//   - unexported fields are included, via reflection.
+//
+// Cycles are cut at the first repeated pointer along a path and recursion is
+// depth-capped, so arbitrary object graphs terminate. The result is never 0,
+// so 0 can serve as an "unhashed" sentinel.
+func HashState(v any) uint64 {
+	h := hasher{sum: fnvOffset}
+	if v != nil {
+		h.value(reflect.ValueOf(v))
+	} else {
+		h.tag(tagNil)
+	}
+	return h.done()
+}
+
+// HashStates folds the per-object final states of a run into one hash, in
+// slice order. It is the oracle's cross-kernel state fingerprint.
+func HashStates(states []model.State) uint64 {
+	h := hasher{sum: fnvOffset}
+	h.u64(uint64(len(states)))
+	for _, s := range states {
+		if s == nil {
+			h.tag(tagNil)
+			continue
+		}
+		h.value(reflect.ValueOf(s))
+	}
+	return h.done()
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+
+	// Sentinel tags are chosen above every reflect.Kind value so they can
+	// never collide with a kind byte.
+	tagNil   byte = 0xF0
+	tagCycle byte = 0xF1
+	tagDeep  byte = 0xF2
+
+	// maxHashDepth bounds recursion on pathological graphs (e.g. long linked
+	// lists); beyond it the hash degrades gracefully rather than looping.
+	maxHashDepth = 256
+)
+
+type hasher struct {
+	sum     uint64
+	depth   int
+	visited map[uintptr]struct{}
+}
+
+func (h *hasher) tag(b byte) { h.sum = (h.sum ^ uint64(b)) * fnvPrime }
+
+func (h *hasher) u64(x uint64) {
+	for i := 0; i < 8; i++ {
+		h.tag(byte(x >> (8 * i)))
+	}
+}
+
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.tag(s[i])
+	}
+}
+
+func (h *hasher) done() uint64 {
+	if h.sum == 0 {
+		return 1
+	}
+	return h.sum
+}
+
+func (h *hasher) value(v reflect.Value) {
+	if h.depth >= maxHashDepth {
+		h.tag(tagDeep)
+		return
+	}
+	h.depth++
+	defer func() { h.depth-- }()
+
+	k := v.Kind()
+	h.tag(byte(k))
+	switch k {
+	case reflect.Bool:
+		if v.Bool() {
+			h.tag(1)
+		} else {
+			h.tag(0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		h.u64(uint64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		h.u64(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		h.u64(math.Float64bits(v.Float()))
+	case reflect.Complex64, reflect.Complex128:
+		c := v.Complex()
+		h.u64(math.Float64bits(real(c)))
+		h.u64(math.Float64bits(imag(c)))
+	case reflect.String:
+		h.str(v.String())
+	case reflect.Pointer:
+		if v.IsNil() {
+			h.tag(tagNil)
+			return
+		}
+		p := v.Pointer()
+		if h.visited == nil {
+			h.visited = make(map[uintptr]struct{})
+		}
+		if _, seen := h.visited[p]; seen {
+			h.tag(tagCycle)
+			return
+		}
+		h.visited[p] = struct{}{}
+		h.value(v.Elem())
+		delete(h.visited, p)
+	case reflect.Interface:
+		if v.IsNil() {
+			h.tag(tagNil)
+			return
+		}
+		e := v.Elem()
+		h.str(e.Type().String())
+		h.value(e)
+	case reflect.Slice, reflect.Array:
+		n := v.Len()
+		h.u64(uint64(n))
+		for i := 0; i < n; i++ {
+			h.value(v.Index(i))
+		}
+	case reflect.Map:
+		if v.IsNil() {
+			h.u64(0)
+			return
+		}
+		h.u64(uint64(v.Len()))
+		// Fold the (key, value) pair hashes commutatively so iteration
+		// order cannot leak into the result. The pair hasher shares the
+		// visited set: the path above the map is identical for every pair,
+		// and each pair unwinds its own additions.
+		var sum, mix uint64
+		it := v.MapRange()
+		for it.Next() {
+			ph := hasher{sum: fnvOffset, depth: h.depth, visited: h.visited}
+			ph.value(it.Key())
+			ph.value(it.Value())
+			sum += ph.sum
+			mix ^= ph.sum * 0x9e3779b97f4a7c15
+			h.visited = ph.visited
+		}
+		h.u64(sum)
+		h.u64(mix)
+	case reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		if v.IsNil() {
+			h.tag(tagNil)
+		} else {
+			h.tag(1)
+		}
+	case reflect.Struct:
+		n := v.NumField()
+		for i := 0; i < n; i++ {
+			h.value(v.Field(i))
+		}
+	default: // reflect.Invalid
+		h.tag(tagNil)
+	}
+}

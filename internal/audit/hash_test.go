@@ -1,0 +1,148 @@
+package audit
+
+import (
+	"testing"
+
+	"gowarp/internal/model"
+)
+
+type leafState struct {
+	N int
+	S string
+}
+
+// Clone lets richState satisfy model.State for HashStates tests.
+func (s *richState) Clone() model.State {
+	c := *s
+	return &c
+}
+
+type richState struct {
+	ID      int
+	Name    string
+	Ratio   float64
+	Flags   []bool
+	Tags    map[string]int
+	Child   *leafState
+	Sibling *leafState
+	hidden  uint32
+}
+
+func sample() *richState {
+	c := &leafState{N: 7, S: "queue"}
+	return &richState{
+		ID:      42,
+		Name:    "server-0",
+		Ratio:   0.625,
+		Flags:   []bool{true, false, true},
+		Tags:    map[string]int{"a": 1, "b": 2, "c": 3},
+		Child:   c,
+		Sibling: c,
+		hidden:  9,
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	h1, h2 := HashState(sample()), HashState(sample())
+	if h1 == 0 {
+		t.Fatal("hash is the 0 sentinel")
+	}
+	if h1 != h2 {
+		t.Fatalf("same value hashed differently: %#x vs %#x", h1, h2)
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := HashState(sample())
+	mutations := map[string]func(*richState){
+		"exported int":     func(s *richState) { s.ID++ },
+		"string":           func(s *richState) { s.Name = "server-1" },
+		"float":            func(s *richState) { s.Ratio *= 2 },
+		"slice element":    func(s *richState) { s.Flags[1] = true },
+		"map value":        func(s *richState) { s.Tags["b"] = 99 },
+		"map key":          func(s *richState) { delete(s.Tags, "c"); s.Tags["d"] = 3 },
+		"pointee field":    func(s *richState) { s.Child.N = 8 },
+		"unexported field": func(s *richState) { s.hidden = 10 },
+	}
+	for name, mutate := range mutations {
+		s := sample()
+		mutate(s)
+		if HashState(s) == base {
+			t.Errorf("mutating %s did not change the hash", name)
+		}
+	}
+}
+
+// TestHashStructuralNotPhysical: two values that a Clone method would treat
+// as equal must hash equal regardless of pointer identity or map insertion
+// order.
+func TestHashStructuralNotPhysical(t *testing.T) {
+	shared := sample() // Child and Sibling alias one leaf
+	split := sample()
+	split.Sibling = &leafState{N: 7, S: "queue"} // deep copy, same values
+	if HashState(shared) != HashState(split) {
+		t.Error("pointer sharing changed the hash of structurally equal values")
+	}
+
+	a := map[string]int{}
+	b := map[string]int{}
+	for i, k := range []string{"x", "y", "z", "w"} {
+		a[k] = i
+	}
+	for i, k := range []string{"w", "z", "y", "x"} {
+		b[k] = 3 - i
+	}
+	if HashState(a) != HashState(b) {
+		t.Error("map insertion order changed the hash")
+	}
+}
+
+func TestHashNilVersusEmpty(t *testing.T) {
+	type s struct {
+		Xs []int
+		M  map[int]int
+	}
+	// Clone methods routinely turn nil slices into empty ones; the hash must
+	// not distinguish them.
+	if HashState(s{Xs: nil}) != HashState(s{Xs: []int{}}) {
+		t.Error("nil and empty slice hash differently")
+	}
+	if HashState(s{M: nil}) == HashState(s{M: map[int]int{}}) {
+		// nil and empty map are also fine to conflate; this documents the
+		// current choice either way — just require determinism.
+		t.Log("nil and empty map hash equal (accepted)")
+	}
+}
+
+func TestHashCycleTerminates(t *testing.T) {
+	type node struct {
+		V    int
+		Next *node
+	}
+	a := &node{V: 1}
+	b := &node{V: 2, Next: a}
+	a.Next = b
+	h1 := HashState(a)
+	h2 := HashState(a)
+	if h1 == 0 || h1 != h2 {
+		t.Fatalf("cyclic structure hashed unstably: %#x vs %#x", h1, h2)
+	}
+	b.V = 3
+	if HashState(a) == h1 {
+		t.Error("mutation inside a cycle did not change the hash")
+	}
+}
+
+func TestHashStates(t *testing.T) {
+	sts := []model.State{sample(), nil, sample()}
+	h1, h2 := HashStates(sts), HashStates(sts)
+	if h1 == 0 || h1 != h2 {
+		t.Fatalf("HashStates unstable: %#x vs %#x", h1, h2)
+	}
+	if HashStates(sts[:2]) == h1 {
+		t.Error("dropping a state did not change the fold")
+	}
+	if HashStates(nil) == 0 {
+		t.Error("empty state list hashed to the 0 sentinel")
+	}
+}

@@ -1,0 +1,98 @@
+package audit
+
+import (
+	"sync"
+
+	"gowarp/internal/pq"
+	"gowarp/internal/vtime"
+)
+
+// ledger tracks every outstanding positive message by identity so that each
+// anti-message can be matched against the positive it annihilates. It is the
+// only auditor structure shared across LP goroutines, so it is sharded by
+// identity hash to keep lock contention off the send path. Entries are
+// dropped when the matching anti-message is routed, and pruned wholesale
+// once GVT passes their receive time (a positive below GVT is committed and
+// can never legally be cancelled; an anti for it would trip the
+// rollback-below-GVT check anyway).
+const ledgerShards = 64
+
+type ledger struct {
+	shards [ledgerShards]ledgerShard
+}
+
+type ledgerShard struct {
+	mu sync.Mutex
+	m  map[pq.Identity]vtime.Time
+}
+
+func (l *ledger) shard(id pq.Identity) *ledgerShard {
+	h := (uint64(uint32(id.Sender))*0x9e3779b97f4a7c15 + id.ID) >> 32
+	return &l.shards[h%ledgerShards]
+}
+
+// send records an outstanding positive message. It reports false when the
+// identity is already outstanding (a duplicate send).
+func (l *ledger) send(id pq.Identity, recv vtime.Time) bool {
+	s := l.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[pq.Identity]vtime.Time)
+	}
+	if _, dup := s.m[id]; dup {
+		return false
+	}
+	s.m[id] = recv
+	return true
+}
+
+// anti consumes the outstanding positive the anti-message annihilates. It
+// reports false when no such positive exists (an unmatched or double
+// cancellation).
+func (l *ledger) anti(id pq.Identity) bool {
+	s := l.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[id]; !ok {
+		return false
+	}
+	delete(s.m, id)
+	return true
+}
+
+// prune drops entries whose receive time is below g.
+func (l *ledger) prune(g vtime.Time) {
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for id, t := range s.m {
+			if t.Before(g) {
+				delete(s.m, id)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// reset clears the ledger for a new run.
+func (l *ledger) reset() {
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+}
+
+// len reports the number of outstanding positives (for tests).
+func (l *ledger) len() int {
+	n := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package oracle
+
+import (
+	"gowarp/internal/apps/phold"
+	"gowarp/internal/apps/qnet"
+	"gowarp/internal/model"
+	"gowarp/internal/vtime"
+)
+
+// FuzzSpec is a small random simulation scenario decoded from fuzz input: a
+// model topology plus one configuration-matrix cell. The decoding is total —
+// every byte string maps to a valid spec — so the fuzzer explores scenario
+// space instead of fighting validation.
+type FuzzSpec struct {
+	// ModelName is "phold" or "qnet".
+	ModelName string
+	// Objects is the object (or station) count, 2..11.
+	Objects int
+	// LPs is the logical-process count, 1..4.
+	LPs int
+	// Tokens is the tokens-per-object (or jobs-per-station) population, 1..3.
+	Tokens int
+	// Locality is the probability a send stays on the sender's LP.
+	Locality float64
+	// MeanDelay is the mean virtual-time hop delay, 4..19.
+	MeanDelay float64
+	// Seed drives the model's deterministic random streams (never 0).
+	Seed uint64
+	// EndTime is the virtual end time, 200..900.
+	EndTime vtime.Time
+	// Cell is the configuration-matrix cell to run, 0..80.
+	Cell int
+	// OptimismWindow bounds optimism (0 = unbounded).
+	OptimismWindow vtime.Time
+}
+
+// DecodeFuzzSpec maps 10 fuzzer-controlled bytes onto a FuzzSpec. Inputs
+// shorter than 10 bytes read as zero bytes, so every input decodes.
+func DecodeFuzzSpec(data []byte) FuzzSpec {
+	b := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	spec := FuzzSpec{
+		ModelName: "phold",
+		Objects:   2 + int(b(1))%10,
+		LPs:       1 + int(b(2))%4,
+		Tokens:    1 + int(b(3))%3,
+		Locality:  float64(int(b(4))%10) / 10,
+		MeanDelay: float64(4 + int(b(5))%16),
+		Seed:      1 + uint64(b(6)),
+		EndTime:   vtime.Time(200 + int64(b(7)%8)*100),
+		Cell:      int(b(8)) % 81,
+	}
+	if b(0)%2 == 1 {
+		spec.ModelName = "qnet"
+	}
+	if w := b(9); w != 0 {
+		spec.OptimismWindow = vtime.Time(50 + int64(w)%200)
+	}
+	return spec
+}
+
+// Model builds the spec's simulation model.
+func (s FuzzSpec) Model() *model.Model {
+	if s.ModelName == "qnet" {
+		return qnet.New(qnet.Config{
+			Stations:     s.Objects,
+			Jobs:         s.Objects * s.Tokens,
+			ServiceMean:  s.MeanDelay,
+			TransitDelay: 5,
+			Locality:     s.Locality,
+			LPs:          s.LPs,
+			Seed:         s.Seed,
+		})
+	}
+	return phold.New(phold.Config{
+		Objects:         s.Objects,
+		TokensPerObject: s.Tokens,
+		MeanDelay:       s.MeanDelay,
+		MinDelay:        1,
+		Locality:        s.Locality,
+		LPs:             s.LPs,
+		Seed:            s.Seed,
+	})
+}
+
+// Lookahead returns the model family's guaranteed minimum send delay, used
+// for the conservative leg.
+func (s FuzzSpec) Lookahead() vtime.Time {
+	if s.ModelName == "qnet" {
+		return 5 // qnet's fixed TransitDelay
+	}
+	return 1 // phold's MinDelay
+}
+
+// Options returns the oracle options for the spec: the one selected matrix
+// cell plus a conservative leg.
+func (s FuzzSpec) Options() Options {
+	return Options{
+		Name:           s.ModelName,
+		EndTime:        s.EndTime,
+		OptimismWindow: s.OptimismWindow,
+		Lookahead:      s.Lookahead(),
+		Cells:          Matrix()[s.Cell : s.Cell+1],
+	}
+}

@@ -1,0 +1,80 @@
+package audit
+
+import (
+	"testing"
+
+	"gowarp/internal/event"
+	"gowarp/internal/statesave"
+	"gowarp/internal/vtime"
+)
+
+// TestDisabledPathAllocatesNothing pins the zero-overhead contract: with
+// auditing disabled (nil *Auditor and the nil recorders it hands out), every
+// hook the kernel may touch must cost zero allocations. The kernel
+// additionally guards its hot sites with a nil comparison, so this is the
+// worst case, not the common one.
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var a *Auditor
+	l := a.LP(0)
+	o := l.Object(1)
+	e := &event.Event{RecvTime: 10, Sender: 2, ID: 7}
+	snap := statesave.Snapshot{Time: 5}
+
+	hooks := map[string]func(){
+		"Auditor.Bind":            func() { a.Bind(4, 100) },
+		"Auditor.LP":              func() { _ = a.LP(0) },
+		"Auditor.FinishRun":       func() { a.FinishRun(0, 0) },
+		"Auditor.LostEvent":       func() { a.LostEvent(0, e, "x") },
+		"Auditor.Err":             func() { _ = a.Err() },
+		"LPAudit.Object":          func() { _ = l.Object(1) },
+		"LPAudit.Route":           func() { l.Route(e, true) },
+		"LPAudit.Packet":          func() { l.Packet(1, 1) },
+		"LPAudit.ApplyGVT":        func() { l.ApplyGVT(5) },
+		"LPAudit.GVTRound":        func() { l.GVTRound(0, 5, 5) },
+		"ObjectAudit.Deliver":     func() { o.Deliver(e) },
+		"ObjectAudit.Execute":     func() { o.Execute(e) },
+		"ObjectAudit.Commit":      func() { o.Commit(e, 20) },
+		"ObjectAudit.Rollback":    func() { o.RollbackStart(e); o.RollbackEnd(nil) },
+		"ObjectAudit.Restore":     func() { o.Restore(e, snap) },
+		"ObjectAudit.Floor":       func() { o.Floor(5, 10, 10) },
+		"ObjectAudit.FossilFloor": func() { o.FossilFloor(5, 0) },
+		"ObjectAudit.HashOf":      func() { _ = o.HashOf(nil) },
+	}
+	for name, fn := range hooks {
+		if n := testing.AllocsPerRun(100, fn); n != 0 {
+			t.Errorf("%s allocated %.1f times per call on the disabled path", name, n)
+		}
+	}
+}
+
+// BenchmarkHooksDisabled measures the raw cost of the nil-recorder hook
+// calls the kernel would make per event when auditing is off.
+func BenchmarkHooksDisabled(b *testing.B) {
+	var a *Auditor
+	l := a.LP(0)
+	o := l.Object(1)
+	e := &event.Event{RecvTime: 10, Sender: 2, ID: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Deliver(e)
+		o.Execute(e)
+		l.Route(e, true)
+		o.Commit(e, 20)
+	}
+}
+
+// BenchmarkHooksEnabled is the same per-event hook mix against a live
+// auditor, for comparison against BenchmarkHooksDisabled.
+func BenchmarkHooksEnabled(b *testing.B) {
+	a := New()
+	a.Bind(1, 1<<40)
+	l := a.LP(0)
+	o := l.Object(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := &event.Event{RecvTime: vtime.Time(10 + i), Sender: 2, ID: uint64(i)}
+		o.Deliver(e)
+		o.Execute(e)
+		l.Route(e, true)
+	}
+}

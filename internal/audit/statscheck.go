@@ -1,0 +1,49 @@
+package audit
+
+import (
+	"fmt"
+
+	"gowarp/internal/stats"
+)
+
+// StatsViolations checks the arithmetic identities that must hold between a
+// completed run's merged counters and returns one Violation per breach. The
+// identities assume the run finished normally (every surviving event is
+// committed by the end-of-run sweep):
+//
+//   - committed ≤ processed, and processed = committed + rolled back;
+//   - rolled back = total rollback length, and every rollback was triggered
+//     by exactly one straggler (positive or anti);
+//   - a rollback implies at least one saved state to restore;
+//   - efficiency lies in (0, 1] whenever anything was processed.
+func StatsViolations(c *stats.Counters) []Violation {
+	var out []Violation
+	add := func(inv, format string, args ...any) {
+		out = append(out, Violation{Invariant: inv, LP: -1, Object: -1,
+			Detail: fmt.Sprintf(format, args...)})
+	}
+	if c.EventsCommitted > c.EventsProcessed {
+		add(InvStatsIdentity, "committed %d > processed %d", c.EventsCommitted, c.EventsProcessed)
+	}
+	if c.EventsProcessed != c.EventsCommitted+c.EventsRolledBack {
+		add(InvStatsIdentity, "processed %d != committed %d + rolled back %d",
+			c.EventsProcessed, c.EventsCommitted, c.EventsRolledBack)
+	}
+	if c.EventsRolledBack != c.RollbackLength {
+		add(InvStatsIdentity, "events rolled back %d != total rollback length %d",
+			c.EventsRolledBack, c.RollbackLength)
+	}
+	if c.Rollbacks != c.Stragglers+c.AntiStragglers {
+		add(InvStatsIdentity, "rollbacks %d != stragglers %d + anti-stragglers %d",
+			c.Rollbacks, c.Stragglers, c.AntiStragglers)
+	}
+	if c.Rollbacks > 0 && c.StatesSaved == 0 {
+		add(InvStatsIdentity, "%d rollbacks with no states saved", c.Rollbacks)
+	}
+	if c.EventsProcessed > 0 {
+		if eff := c.Efficiency(); eff <= 0 || eff > 1 {
+			add(InvStatsIdentity, "efficiency %.3f outside (0, 1]", eff)
+		}
+	}
+	return out
+}

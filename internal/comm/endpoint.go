@@ -200,6 +200,18 @@ func (e *Endpoint) flush(dst int, cause FlushCause) {
 // reports on SAAW convergence).
 func (e *Endpoint) Window(dst int) time.Duration { return e.bufs[dst].window }
 
+// Buffered returns the number of events parked in unsent aggregation buffers
+// across all destinations. The invariant auditor reads it after the LPs join
+// to close the message-conservation ledger; during a run it is only
+// meaningful to the owning LP goroutine.
+func (e *Endpoint) Buffered() int64 {
+	var n int64
+	for i := range e.bufs {
+		n += int64(e.bufs[i].count)
+	}
+	return n
+}
+
 // DecodeEvents unpacks an events packet, updating the receive-side GVT
 // counters. The returned events alias the packet payload.
 func (e *Endpoint) DecodeEvents(p Packet) ([]*event.Event, error) {

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"gowarp/internal/audit"
+	"gowarp/internal/comm"
+	"gowarp/internal/event"
+)
+
+// finishAudit runs the auditor's end-of-run sweep after every LP goroutine
+// has joined (and only when none panicked), while the whole kernel state is
+// quiescent and single-threaded:
+//
+//   - undrained inboxes are decoded: every leftover event must lie beyond
+//     the simulated horizon (the LPs stop only once GVT strictly passes the
+//     end time, so nothing executable may remain in flight);
+//   - the same holds for leftover deferred intra-LP messages and for every
+//     object's pending set;
+//   - orphan anti-messages still parked are cancellation leaks;
+//   - the message-conservation ledger is closed: events handed to the
+//     communication substrate == events delivered + events still in
+//     aggregation buffers + events decoded out of the undrained inboxes.
+func finishAudit(au *audit.Auditor, lps []*lpRun) {
+	var buffered, undelivered int64
+	for _, lp := range lps {
+	drain:
+		for {
+			select {
+			case p := <-lp.inbox:
+				if p.Kind != comm.PktEvents {
+					continue
+				}
+				buf := p.Payload
+				for len(buf) > 0 {
+					ev, rest, err := event.Decode(buf)
+					if err != nil {
+						// Undecodable leftovers would silently unbalance the
+						// conservation check; surface them as lost payload.
+						au.LostEvent(lp.id, &event.Event{Receiver: -1}, "a corrupt leftover packet")
+						break
+					}
+					undelivered++
+					au.LostEvent(lp.id, ev, "an undrained inbox")
+					buf = rest
+				}
+			default:
+				break drain
+			}
+		}
+		buffered += lp.ep.Buffered()
+		lp.au.FinishDeferred(lp.deferred)
+		for _, o := range lp.objs {
+			o.au.Finish(o.pending, len(o.orphans))
+		}
+	}
+	au.FinishRun(buffered, undelivered)
+}

@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"testing"
+
+	"gowarp/internal/audit"
+	"gowarp/internal/core"
+)
+
+// BenchmarkRunAuditOff / BenchmarkRunAuditOn bracket the cost of the runtime
+// invariant auditor on the full kernel. Compare them (benchstat, or just the
+// ns/op ratio) to measure audit overhead; the Off variant is the guard that
+// a nil Config.Audit stays free — its hook sites reduce to one pointer
+// comparison each.
+func BenchmarkRunAuditOff(b *testing.B) {
+	benchmarkRun(b, false)
+}
+
+func BenchmarkRunAuditOn(b *testing.B) {
+	benchmarkRun(b, true)
+}
+
+func benchmarkRun(b *testing.B, audited bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := testConfig(2000)
+		if audited {
+			cfg.Audit = audit.New()
+		}
+		res, err := core.Run(testModel(9), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.EventsCommitted == 0 {
+			b.Fatal("nothing committed")
+		}
+	}
+}

@@ -12,6 +12,7 @@ package core
 import (
 	"time"
 
+	"gowarp/internal/audit"
 	"gowarp/internal/cancel"
 	"gowarp/internal/comm"
 	"gowarp/internal/model"
@@ -75,6 +76,13 @@ type Config struct {
 	// interval, aggregation window. Serve it with telemetry.Serve to scrape
 	// a running simulation.
 	Metrics *telemetry.Registry
+
+	// Audit, when non-nil, checks the Time Warp invariants on-line while the
+	// run executes — commit/GVT safety, execution order, anti-message
+	// pairing, message conservation, checkpoint integrity — and records any
+	// violation (see audit.Auditor). Nil disables auditing at the cost of a
+	// pointer comparison per hook site.
+	Audit *audit.Auditor
 }
 
 // DefaultConfig returns a configuration matching the paper's all-static

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gowarp/internal/apps/phold"
+	"gowarp/internal/audit"
 	"gowarp/internal/cancel"
 	"gowarp/internal/comm"
 	"gowarp/internal/core"
@@ -39,18 +40,24 @@ func testModel(seed uint64) *model.Model {
 	})
 }
 
-// assertMatchesSequential runs m under cfg on the parallel kernel and checks
-// it commits exactly the events the sequential reference kernel executes and
-// reaches identical final states.
+// assertMatchesSequential runs m under cfg on the parallel kernel — with the
+// runtime invariant auditor enabled — and checks it commits exactly the
+// events the sequential reference kernel executes, reaches identical final
+// states, and violates no Time Warp invariant along the way.
 func assertMatchesSequential(t *testing.T, m *model.Model, cfg core.Config) {
 	t.Helper()
 	seq, err := core.RunSequential(m, cfg.EndTime, 0)
 	if err != nil {
 		t.Fatalf("sequential: %v", err)
 	}
+	au := audit.New()
+	cfg.Audit = au
 	par, err := core.Run(m, cfg)
 	if err != nil {
 		t.Fatalf("parallel: %v", err)
+	}
+	if err := au.Err(); err != nil {
+		t.Errorf("runtime audit: %v", err)
 	}
 	if par.Stats.EventsCommitted != seq.EventsExecuted {
 		t.Errorf("committed events: parallel %d, sequential %d",

@@ -5,48 +5,38 @@ import (
 	"time"
 
 	"gowarp/internal/apps/phold"
+	"gowarp/internal/audit"
 	"gowarp/internal/cancel"
 	"gowarp/internal/core"
 	"gowarp/internal/statesave"
 )
 
-// TestStatsInvariants runs a contentious configuration and checks the
-// arithmetic relationships the counters must satisfy.
+// TestStatsInvariants runs a contentious configuration with the full runtime
+// auditor enabled and checks the arithmetic relationships the counters must
+// satisfy (audit.StatsViolations holds the canonical list).
 func TestStatsInvariants(t *testing.T) {
 	cfg := testConfig(3000)
 	cfg.Cancellation = cancel.Config{Mode: cancel.Dynamic, FilterDepth: 8, Period: 2}
 	cfg.Checkpoint = statesave.Config{Mode: statesave.Dynamic, Interval: 2, Period: 64}
+	au := audit.New()
+	cfg.Audit = au
 	res, err := core.Run(testModel(13), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &res.Stats
-
-	if s.EventsCommitted > s.EventsProcessed {
-		t.Errorf("committed %d > processed %d", s.EventsCommitted, s.EventsProcessed)
+	for _, v := range audit.StatsViolations(&res.Stats) {
+		t.Error(v.String())
 	}
-	if s.EventsRolledBack != s.RollbackLength {
-		t.Errorf("rolled back %d != accumulated rollback length %d",
-			s.EventsRolledBack, s.RollbackLength)
+	if err := au.Err(); err != nil {
+		t.Errorf("runtime audit: %v", err)
 	}
-	if s.Rollbacks != s.Stragglers+s.AntiStragglers {
-		t.Errorf("rollbacks %d != stragglers %d + anti-stragglers %d",
-			s.Rollbacks, s.Stragglers, s.AntiStragglers)
-	}
-	// Every processed event is either committed or was rolled back (no
-	// third fate at termination: processed = committed + rolledBack).
-	if s.EventsProcessed != s.EventsCommitted+s.EventsRolledBack {
-		t.Errorf("processed %d != committed %d + rolled back %d",
-			s.EventsProcessed, s.EventsCommitted, s.EventsRolledBack)
-	}
-	if s.Rollbacks > 0 && s.StatesSaved == 0 {
-		t.Error("rollbacks occurred but no states were ever saved")
-	}
-	if s.GVTCycles == 0 {
+	// Shape checks beyond counter arithmetic: the run must actually have
+	// exercised the machinery the counters describe.
+	if res.Stats.GVTCycles == 0 {
 		t.Error("no GVT cycles completed")
 	}
-	if eff := s.Efficiency(); eff <= 0 || eff > 1 {
-		t.Errorf("efficiency %f out of (0,1]", eff)
+	if au.Checks() == 0 {
+		t.Error("auditor performed no checks")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"gowarp/internal/audit"
 	"gowarp/internal/comm"
 	"gowarp/internal/event"
 	"gowarp/internal/gvt"
@@ -58,6 +59,11 @@ type lpRun struct {
 	tr          *telemetry.LPTrace
 	met         *runMetrics
 	lastGVTWall time.Time
+
+	// au is this LP's invariant-audit recorder (nil when auditing is
+	// disabled; hot paths guard on the pointer so the off path costs one
+	// comparison).
+	au *audit.LPAudit
 }
 
 // refresh re-keys o in the schedule heap after its pending set changed.
@@ -70,6 +76,9 @@ func (lp *lpRun) refresh(o *simObject) {
 // flush the aggregation buffer immediately.
 func (lp *lpRun) route(ev *event.Event, urgent bool) {
 	dst := lp.k.lpOf[ev.Receiver]
+	if lp.au != nil {
+		lp.au.Route(ev, dst != lp.id)
+	}
 	if dst == lp.id {
 		lp.deferred = append(lp.deferred, ev)
 		lp.st.IntraLPMsgs++
@@ -111,6 +120,9 @@ func (lp *lpRun) handlePacket(p comm.Packet) {
 		evs, err := lp.ep.DecodeEvents(p)
 		if err != nil {
 			panic(fmt.Sprintf("core: LP %d: corrupt events packet from LP %d: %v", lp.id, p.From, err))
+		}
+		if lp.au != nil {
+			lp.au.Packet(len(evs), p.Count)
 		}
 		for _, ev := range evs {
 			lp.k.objs[ev.Receiver].deliver(ev)
@@ -188,6 +200,15 @@ func (lp *lpRun) finishGVT(g vtime.Time) {
 // applyGVT fossil-collects every hosted object against the new GVT and, if
 // enabled, records a timeline sample.
 func (lp *lpRun) applyGVT(g vtime.Time) {
+	if lp.au != nil {
+		lp.au.ApplyGVT(g)
+		// Invariant (b): before any history is reclaimed, the new estimate
+		// must sit at or below every object's unprocessed minimum and its
+		// minimum unresolved lazy output.
+		for _, o := range lp.objs {
+			o.au.Floor(g, o.nextTime(), o.out.MinPending())
+		}
+	}
 	for _, o := range lp.objs {
 		o.fossilCollect(g)
 	}
@@ -208,11 +229,13 @@ func (lp *lpRun) initObjects() {
 		o.state = o.obj.InitialState()
 		ctx := execContext{o: o}
 		o.obj.Init(&ctx, o.state)
-		o.stateQ = statesave.NewQueue(statesave.Snapshot{
+		snap := statesave.Snapshot{
 			State:   o.state.Clone(),
 			SendVT:  o.sendVT,
 			SendSeq: o.sendSeq,
-		})
+		}
+		snap.Hash = o.au.HashOf(snap.State)
+		o.stateQ = statesave.NewQueue(snap)
 		lp.refresh(o)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"gowarp/internal/audit"
 	"gowarp/internal/cancel"
 	"gowarp/internal/event"
 	"gowarp/internal/model"
@@ -60,6 +61,10 @@ type simObject struct {
 	coasting bool
 
 	rollbacks int64
+
+	// au is this object's invariant-audit recorder (nil when auditing is
+	// disabled).
+	au *audit.ObjectAudit
 }
 
 // absProcessed returns the absolute index one past the last processed event.
@@ -80,6 +85,9 @@ func (o *simObject) nextTime() vtime.Time {
 // input queue, rolling back first if the message lands in the processed
 // past.
 func (o *simObject) deliver(ev *event.Event) {
+	if o.au != nil {
+		o.au.Deliver(ev)
+	}
 	if ev.IsAnti() {
 		o.deliverAnti(ev)
 		o.lp.refresh(o)
@@ -146,6 +154,9 @@ func (o *simObject) rollback(straggler *event.Event, isAnti bool) {
 		lp.st.Stragglers++
 	}
 
+	if o.au != nil {
+		o.au.RollbackStart(straggler)
+	}
 	o.out.OnRollback(straggler)
 
 	// Requeue the suffix of processed events ordered after the straggler.
@@ -166,6 +177,9 @@ func (o *simObject) rollback(straggler *event.Event, isAnti bool) {
 
 	// Restore the newest snapshot strictly before the straggler.
 	snap := o.stateQ.RestoreBefore(straggler.RecvTime)
+	if o.au != nil {
+		o.au.Restore(straggler, snap)
+	}
 	o.state = snap.State.Clone()
 	o.sendVT = snap.SendVT
 	o.sendSeq = snap.SendSeq
@@ -205,6 +219,9 @@ func (o *simObject) rollback(straggler *event.Event, isAnti bool) {
 		o.lastExec = nil
 		o.lvt = snap.Time
 	}
+	if o.au != nil {
+		o.au.RollbackEnd(o.lastExec)
+	}
 }
 
 // executeNext pops and executes the object's next event, then runs the
@@ -214,6 +231,9 @@ func (o *simObject) executeNext() {
 	ev := o.pending.PopMin()
 	if ev == nil {
 		return
+	}
+	if o.au != nil {
+		o.au.Execute(ev)
 	}
 	spin.Spin(lp.cfg.EventCost)
 	o.execApp(ev)
@@ -234,6 +254,7 @@ func (o *simObject) executeNext() {
 			Mark:    o.absProcessed(),
 			SendVT:  o.sendVT,
 			SendSeq: o.sendSeq,
+			Hash:    o.au.HashOf(snap),
 		})
 		o.ckpt.RecordSaveCost(d)
 		lp.st.StatesSaved++
@@ -270,11 +291,17 @@ func (o *simObject) drainStale() {
 func (o *simObject) fossilCollect(gvt vtime.Time) {
 	lp := o.lp
 	lp.st.FossilCollected += int64(o.stateQ.FossilCollect(gvt))
+	if o.au != nil {
+		o.au.FossilFloor(gvt, o.stateQ.OldestTime())
+	}
 
 	for o.committedAbs < o.absProcessed() {
 		rel := o.committedAbs - o.processedBase
 		if !o.processed[rel].RecvTime.Before(gvt) {
 			break
+		}
+		if o.au != nil {
+			o.au.Commit(o.processed[rel], gvt)
 		}
 		o.committedAbs++
 		lp.st.EventsCommitted++
@@ -295,6 +322,9 @@ func (o *simObject) fossilCollect(gvt vtime.Time) {
 
 	for k, a := range o.orphans {
 		if a.RecvTime.Before(gvt) {
+			if o.au != nil {
+				o.au.OrphanDropped(a)
+			}
 			delete(o.orphans, k)
 		}
 	}
@@ -304,6 +334,11 @@ func (o *simObject) fossilCollect(gvt vtime.Time) {
 // processed event is known final.
 func (o *simObject) commitRemaining() {
 	for o.committedAbs < o.absProcessed() {
+		if o.au != nil {
+			// The bound is +inf: at termination everything is final, so
+			// only the committed-order invariant remains to check.
+			o.au.Commit(o.processed[o.committedAbs-o.processedBase], vtime.PosInf)
+		}
 		o.committedAbs++
 		o.lp.st.EventsCommitted++
 	}

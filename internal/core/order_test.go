@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"gowarp/internal/audit"
 	"gowarp/internal/cancel"
 	"gowarp/internal/core"
 	"gowarp/internal/event"
@@ -94,9 +95,14 @@ func TestLazyDeliveryOrderDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	au := audit.New()
+	cfg.Audit = au
 	par, err := core.Run(m, cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if err := au.Err(); err != nil {
+		t.Errorf("runtime audit: %v", err)
 	}
 	for i := range seq.FinalStates {
 		sl := seq.FinalStates[i].(*recState).Log

@@ -36,6 +36,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 
 	start := time.Now()
 	cfg.Tracer.Bind(numLPs, start)
+	cfg.Audit.Bind(numLPs, cfg.EndTime)
 	var met *runMetrics
 	if cfg.Metrics != nil {
 		met = newRunMetrics(cfg.Metrics, numLPs)
@@ -55,6 +56,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 			started:  start,
 			tr:       cfg.Tracer.LP(i),
 			met:      met,
+			au:       cfg.Audit.LP(i),
 		}
 		if lp.idleTick <= 0 {
 			lp.idleTick = 250 * time.Microsecond
@@ -72,6 +74,9 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 				tr.GVTCycle(int64(g), rounds, took)
 			}
 		}
+		if au := lp.au; au != nil {
+			lp.gvtMgr.Audit = au.GVTRound
+		}
 		lps[i] = lp
 	}
 
@@ -85,6 +90,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 			pending: pq.New(cfg.PendingSet),
 			orphans: make(map[pq.Identity]*event.Event),
 		}
+		o.au = lp.au.Object(o.id)
 		o.ckpt = statesave.NewCheckpointer(cfg.Checkpoint)
 		sel := cancel.NewSelector(cfg.Cancellation)
 		o.out = cancel.NewManager(sel, lp.emitAnti, &lp.st)
@@ -128,6 +134,9 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		if p != nil {
 			return nil, fmt.Errorf("core: LP %d failed: %v", i, p)
 		}
+	}
+	if cfg.Audit != nil {
+		finishAudit(cfg.Audit, lps)
 	}
 
 	res := &Result{

@@ -47,6 +47,12 @@ type Manager struct {
 	// initiator: the new value, the token rounds it took, and its
 	// initiation-to-completion wall time. Called from the LP goroutine.
 	OnCycle func(g vtime.Time, rounds int64, took time.Duration)
+
+	// Audit, when non-nil, observes every token completing a circle at the
+	// initiator — the white in-transit count and the two minima — before the
+	// completion decision. Wired by the runtime invariant auditor; called
+	// from the LP goroutine.
+	Audit func(count int64, m, mmsg vtime.Time)
 }
 
 // NewManager returns a manager for lp of numLPs, initiating (on LP 0 only)
@@ -101,6 +107,9 @@ func (m *Manager) MaybeInitiate(localMin vtime.Time, force bool) (g vtime.Time, 
 	m.lastStart = time.Now()
 	m.startedAt = m.lastStart
 	if m.numLPs == 1 {
+		if m.Audit != nil {
+			m.Audit(0, localMin, vtime.PosInf)
+		}
 		m.gvt = localMin
 		m.st.GVTCycles++
 		if m.OnCycle != nil {
@@ -131,6 +140,9 @@ func (m *Manager) OnToken(tok comm.Token, localMin vtime.Time) (g vtime.Time, fo
 	m.st.GVTRounds++
 	white := red(tok.Epoch) ^ 1
 	if m.lp == 0 {
+		if m.Audit != nil {
+			m.Audit(tok.Count, tok.M, tok.MMsg)
+		}
 		if tok.Count == 0 {
 			// No white messages in transit: the cut is consistent.
 			m.inProgress = false

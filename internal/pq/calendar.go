@@ -36,6 +36,15 @@ func NewCalendarSet() *CalendarSet {
 // Len returns the number of events held.
 func (c *CalendarSet) Len() int { return c.count }
 
+// Walk calls fn once per held event, in bucket (not timestamp) order.
+func (c *CalendarSet) Walk(fn func(*event.Event)) {
+	for _, b := range c.buckets {
+		for _, e := range b {
+			fn(e)
+		}
+	}
+}
+
 // rebuild resizes to nb buckets of the given width, starting the dequeue
 // scan at the bucket containing start.
 func (c *CalendarSet) rebuild(nb int, width vtime.Time, start vtime.Time) {

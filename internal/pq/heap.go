@@ -21,6 +21,13 @@ func NewHeapSet() *HeapSet {
 // Len returns the number of events held.
 func (h *HeapSet) Len() int { return len(h.items) }
 
+// Walk calls fn once per held event, in heap (not timestamp) order.
+func (h *HeapSet) Walk(fn func(*event.Event)) {
+	for _, e := range h.items {
+		fn(e)
+	}
+}
+
 // Push inserts e.
 func (h *HeapSet) Push(e *event.Event) {
 	h.items = append(h.items, e)

@@ -39,6 +39,10 @@ type PendingSet interface {
 	Remove(id Identity) *event.Event
 	// Len returns the number of events held.
 	Len() int
+	// Walk calls fn once per held event, in no particular order. It is an
+	// inspection hook (used by the invariant auditor); fn must not mutate
+	// the set.
+	Walk(fn func(*event.Event))
 }
 
 // Kind selects a PendingSet implementation.

@@ -28,6 +28,14 @@ func NewSplaySet() *SplaySet {
 // Len returns the number of events held.
 func (s *SplaySet) Len() int { return s.count }
 
+// Walk calls fn once per held event, in no particular order (the identity
+// index is iterated, not the tree).
+func (s *SplaySet) Walk(fn func(*event.Event)) {
+	for _, n := range s.nodes {
+		fn(n.ev)
+	}
+}
+
 // Push inserts e.
 func (s *SplaySet) Push(e *event.Event) {
 	n := &splayNode{ev: e}

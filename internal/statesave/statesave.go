@@ -29,6 +29,10 @@ type Snapshot struct {
 	Mark    int64
 	SendVT  vtime.Time
 	SendSeq uint32
+	// Hash is the structural hash of State at save time, stamped by the
+	// runtime invariant auditor and re-verified on restore; 0 means the
+	// snapshot was taken with auditing disabled.
+	Hash uint64
 }
 
 // Queue is a simulation object's state queue (Figure 1), ordered by
@@ -103,6 +107,11 @@ func (q *Queue) Len() int { return len(q.snaps) }
 // events below it can never be needed for coast forward again and may be
 // fossil-collected by the kernel.
 func (q *Queue) OldestMark() int64 { return q.snaps[0].Mark }
+
+// OldestTime returns the snapshot time of the oldest retained snapshot.
+// After fossil collection under GVT g it must still lie strictly below g
+// (the restorability floor the auditor checks).
+func (q *Queue) OldestTime() vtime.Time { return q.snaps[0].Time }
 
 // Newest returns the most recent snapshot time, for tests and reports.
 func (q *Queue) Newest() vtime.Time { return q.snaps[len(q.snaps)-1].Time }

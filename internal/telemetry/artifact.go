@@ -28,6 +28,10 @@ type RunSummary struct {
 	HitRatio float64 `json:"hit_ratio"`
 	// MeanRollbackLength is events undone per rollback episode.
 	MeanRollbackLength float64 `json:"mean_rollback_length"`
+	// FinalStateHash is a structural hash of every object's committed final
+	// state (audit.HashStates); equal hashes mean semantically identical
+	// outcomes. Zero when the producer did not compute it.
+	FinalStateHash uint64 `json:"final_state_hash,omitempty"`
 	// Stats is the full merged counter tally.
 	Stats stats.Counters `json:"stats"`
 	// PerObject carries per-object controller end states.
@@ -35,6 +39,20 @@ type RunSummary struct {
 	// TraceDropped is the number of trace events lost to ring wraparound
 	// (0 when tracing was off or the ring sufficed).
 	TraceDropped int64 `json:"trace_dropped,omitempty"`
+}
+
+// Deterministic returns a copy of the summary stripped to the fields that
+// must be byte-identical across repeated runs of the same model, seed and
+// configuration: the model name, the committed-event count and the
+// final-state hash. Wall-clock-dependent fields (elapsed time, rates,
+// rollback counts, even the exact final GVT) are zeroed — they legitimately
+// vary run to run. Marshal the result to regress reproducibility.
+func (s RunSummary) Deterministic() RunSummary {
+	return RunSummary{
+		Model:          s.Model,
+		FinalStateHash: s.FinalStateHash,
+		Stats:          stats.Counters{EventsCommitted: s.Stats.EventsCommitted},
+	}
 }
 
 // BenchResult is the machine-readable per-experiment artifact written by
