@@ -3,8 +3,11 @@
 // sequential reference run, then an audited parallel Time Warp run per cell
 // of the checkpointing x cancellation x aggregation x pending-set
 // configuration matrix, plus a conservative leg where the model guarantees
-// lookahead. Any divergence in committed events or final states, or any
-// runtime invariant violation, fails the sweep with a nonzero exit.
+// lookahead, plus migration legs (phold-mig, smmp-mig) that re-run the
+// matrix on a deliberately skewed partition with the dynamic load balancer
+// migrating objects mid-run. Any divergence in committed events or final
+// states, or any runtime invariant violation, fails the sweep with a
+// nonzero exit.
 //
 // Examples:
 //
@@ -24,6 +27,7 @@ import (
 	"gowarp/internal/apps/raid"
 	"gowarp/internal/apps/smmp"
 	"gowarp/internal/audit/oracle"
+	"gowarp/internal/core"
 	"gowarp/internal/model"
 	"gowarp/internal/vtime"
 )
@@ -39,6 +43,38 @@ type check struct {
 	lookahead vtime.Time
 	// window bounds optimism to keep contentious models fast.
 	window vtime.Time
+	// balance, when Enabled, runs every cell with the dynamic load
+	// balancer on — the migration legs of the sweep.
+	balance core.BalanceConfig
+}
+
+// skew rewrites part so LP 0 hosts almost everything (each other LP keeps
+// one object, as the partition must stay dense) — the deliberately bad
+// placement that gives the migration legs something to repair.
+func skew(part []int, lps int) {
+	keep := make(map[int]int)
+	for i, p := range part {
+		keep[p] = i
+	}
+	for i := range part {
+		part[i] = 0
+	}
+	for p := 1; p < lps; p++ {
+		if i, ok := keep[p]; ok {
+			part[i] = p
+		}
+	}
+}
+
+// aggressiveBalance is the controller tuning for the migration legs: fire
+// often, tolerate little imbalance, move up to two objects per firing.
+var aggressiveBalance = core.BalanceConfig{
+	Enabled:   true,
+	Period:    2,
+	HighWater: 1.15,
+	LowWater:  1.05,
+	MaxMoves:  2,
+	MinSample: 32,
 }
 
 var checks = []check{
@@ -76,12 +112,33 @@ var checks = []check{
 		},
 		end: 1 << 40, window: 2000,
 	},
+	{
+		name: "phold-mig",
+		build: func(seed uint64) *model.Model {
+			m := phold.New(phold.Config{
+				Objects: 16, TokensPerObject: 3, MeanDelay: 10,
+				Locality: 0.2, LPs: 4, Seed: seed,
+			})
+			skew(m.Partition, 4)
+			return m
+		},
+		end: 2400, window: 100, balance: aggressiveBalance,
+	},
+	{
+		name: "smmp-mig",
+		build: func(seed uint64) *model.Model {
+			m := smmp.New(smmp.Config{Requests: 60, Seed: seed})
+			skew(m.Partition, 4)
+			return m
+		},
+		end: 1 << 40, window: 2000, balance: aggressiveBalance,
+	},
 }
 
 func main() {
 	var (
 		full      = flag.Bool("full", false, "run the full 81-cell matrix (default: the 9-cell diagonal covering every policy value)")
-		modelName = flag.String("model", "", "restrict the sweep to one model: phold, qnet, smmp, raid")
+		modelName = flag.String("model", "", "restrict the sweep to one model: phold, qnet, smmp, raid, phold-mig, smmp-mig")
 		seed      = flag.Uint64("seed", 1, "model random seed")
 		gvtPeriod = flag.Duration("gvt-period", 200*time.Microsecond, "GVT period for the parallel legs")
 		verbose   = flag.Bool("v", false, "print the full per-cell table for every model")
@@ -106,6 +163,7 @@ func main() {
 			GVTPeriod:      *gvtPeriod,
 			OptimismWindow: c.window,
 			Lookahead:      c.lookahead,
+			Balance:        c.balance,
 			Cells:          cells,
 		})
 		if err != nil {

@@ -8,6 +8,7 @@
 //	twsim -model phold -end 100000 -lps 4 -verify
 //	twsim -model raid -ckpt dynamic -cancel dynamic -trace out.json -trace-format chrome
 //	twsim -model phold -metrics-addr 127.0.0.1:9090 -json-out run.json
+//	twsim -model phold -partition greedy -balance -audit -verify
 package main
 
 import (
@@ -42,6 +43,14 @@ func main() {
 
 		aggMode   = flag.String("agg", "none", "aggregation: none, faw, saaw")
 		aggWindow = flag.Duration("agg-window", 100*time.Microsecond, "aggregation window (FAW) or initial window (SAAW)")
+
+		partitionMode = flag.String("partition", "", "override the model's object placement: block, rr, greedy (greedy probes a sequential prefix and partitions the measured communication graph)")
+
+		balance       = flag.Bool("balance", false, "enable on-line dynamic load balancing (object migration between LPs)")
+		balancePeriod = flag.Int("balance-period", 0, "balancer actuation period in GVT cycles (0 = default)")
+		balanceHigh   = flag.Float64("balance-high", 0, "imbalance (max/mean load) above which balancing engages (0 = default)")
+		balanceLow    = flag.Float64("balance-low", 0, "imbalance below which balancing disengages (0 = default)")
+		balanceMoves  = flag.Int("balance-moves", 0, "max object migrations per balancer firing (0 = default)")
 
 		perMsg    = flag.Duration("msg-cost", 0, "simulated per-physical-message CPU overhead")
 		eventCost = flag.Duration("event-cost", 0, "simulated CPU burn per event")
@@ -105,6 +114,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *partitionMode != "" {
+		if err := repartition(m, *partitionMode, endTime); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *sequential {
 		res, err := gowarp.RunSequential(m, endTime)
 		if err != nil {
@@ -158,6 +173,16 @@ func main() {
 		cfg.Aggregation = gowarp.AggregationConfig{Policy: gowarp.SAAW, Window: *aggWindow}
 	default:
 		fatal(fmt.Errorf("unknown aggregation mode %q", *aggMode))
+	}
+
+	if *balance {
+		cfg.Balance = gowarp.BalanceConfig{
+			Enabled:   true,
+			Period:    *balancePeriod,
+			HighWater: *balanceHigh,
+			LowWater:  *balanceLow,
+			MaxMoves:  *balanceMoves,
+		}
 	}
 
 	switch *pending {
@@ -270,6 +295,34 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// repartition replaces m's static object placement in place, keeping the
+// model's LP count. The greedy mode probes a bounded sequential prefix of
+// the model to measure the communication graph, then partitions it.
+func repartition(m *gowarp.Model, mode string, endTime gowarp.VTime) error {
+	lps := 0
+	for _, p := range m.Partition {
+		if p >= lps {
+			lps = p + 1
+		}
+	}
+	n := len(m.Partition)
+	switch mode {
+	case "block":
+		m.Partition = gowarp.BlockPartition(n, lps)
+	case "rr":
+		m.Partition = gowarp.RoundRobinPartition(n, lps)
+	case "greedy":
+		g, err := gowarp.ProbeGraph(m, endTime, 20000)
+		if err != nil {
+			return fmt.Errorf("partition probe: %w", err)
+		}
+		m.Partition = gowarp.GreedyPartition(g, lps)
+	default:
+		return fmt.Errorf("unknown partition mode %q (want block, rr or greedy)", mode)
+	}
+	return nil
 }
 
 func writeTrace(tracer *gowarp.Tracer, path, format string) error {

@@ -108,6 +108,10 @@ type (
 	Sample = core.Sample
 	// LPTimeline is one logical process's adaptation timeline.
 	LPTimeline = core.LPTimeline
+	// BalanceConfig configures on-line dynamic load balancing — object
+	// migration between logical processes as a fourth controlled facet
+	// (set Config.Balance; off by default).
+	BalanceConfig = core.BalanceConfig
 )
 
 // Checkpointing modes.
@@ -277,6 +281,14 @@ func RoundRobinPartition(n, lps int) Partition { return partition.RoundRobin(n, 
 // GreedyPartition builds a communication-aware partition of g onto lps
 // logical processes (greedy seeding plus Kernighan-Lin-style refinement).
 func GreedyPartition(g *PartitionGraph, lps int) Partition { return partition.Greedy(g, lps) }
+
+// ProbeGraph measures m's communication graph by executing a bounded
+// sequential prefix (at most maxEvents events, never past endTime): vertex
+// weights are per-object execution counts, edge weights events exchanged.
+// Feed the result to GreedyPartition for a measurement-driven placement.
+func ProbeGraph(m *Model, endTime VTime, maxEvents int64) (*PartitionGraph, error) {
+	return core.ProbeGraph(m, endTime, maxEvents)
+}
 
 // Bundled models (the paper's two applications plus the PHOLD synthetic).
 type (

@@ -66,6 +66,7 @@ const (
 	InvRestoreOrder     = "restore-order" // restored snapshot not strictly before the straggler
 	InvFossilFloor      = "fossil-floor"  // no snapshot at or below GVT retained
 	InvStatsIdentity    = "stats-identity"
+	InvMigration        = "migration" // a migrated object lost events or state in transit
 )
 
 // Violation is one observed invariant breach.
@@ -330,6 +331,67 @@ func (l *LPAudit) Route(ev *event.Event, remote bool) {
 		l.a.record(Violation{Invariant: InvDuplicateSend, LP: l.lp, Object: ev.Receiver,
 			Detail: fmt.Sprintf("positive message @%s (sender %d id %d) sent twice", ev.RecvTime, ev.Sender, ev.ID)})
 	}
+}
+
+// Forward checks an event re-sent to the current owner after arriving at an
+// LP the target object had migrated away from. The event re-enters the
+// communication substrate, so the conservation ledger counts one more
+// inter-LP send (it will be decoded — and counted received — a second time);
+// the duplicate-send ledger is deliberately not touched, because the
+// message's identity is already outstanding from its original Route.
+func (l *LPAudit) Forward(ev *event.Event) {
+	if l == nil {
+		return
+	}
+	l.checks++
+	l.sentInter++
+}
+
+// MigrateOut checks an object being packed for migration to LP to with
+// pending unprocessed events and (when hashing is on) state hash hash. The
+// capsule's contents bypass the message ledgers — they never re-enter the
+// substrate as individual events — so departure only notes the check; the
+// matching MigrateIn on the destination verifies nothing was lost in transit.
+func (l *LPAudit) MigrateOut(id event.ObjectID, to, pending int, hash uint64) {
+	if l == nil {
+		return
+	}
+	l.checks++
+}
+
+// MigrateIn checks a migrated object just installed on this LP against what
+// the source packed: the unprocessed-event count and the state hash must
+// survive the move bit-for-bit. packedHash 0 means hashing was off at pack
+// time and the comparison is skipped.
+func (l *LPAudit) MigrateIn(id event.ObjectID, from, packedPending, installedPending int, packedHash, installedHash uint64) {
+	if l == nil {
+		return
+	}
+	l.checks++
+	if packedPending != installedPending {
+		l.a.record(Violation{Invariant: InvMigration, LP: l.lp, Object: id,
+			Detail: fmt.Sprintf("capsule from LP%d packed %d pending events, installed %d", from, packedPending, installedPending)})
+	}
+	if packedHash != 0 && packedHash != installedHash {
+		l.a.record(Violation{Invariant: InvMigration, LP: l.lp, Object: id,
+			Detail: fmt.Sprintf("capsule from LP%d packed state hash %#x, installed %#x", from, packedHash, installedHash)})
+	}
+}
+
+// Adopt rebinds a migrated object's recorder to this LP, preserving the
+// execution- and commit-order trackers so the strictly-increasing sequence
+// invariants keep holding across the move. A nil prev (auditing disabled, or
+// the object never had a recorder) yields a fresh recorder.
+func (l *LPAudit) Adopt(prev *ObjectAudit, id event.ObjectID) *ObjectAudit {
+	if l == nil {
+		return nil
+	}
+	o := &ObjectAudit{l: l, id: id}
+	if prev != nil {
+		o.lastExec = prev.lastExec
+		o.lastCommit = prev.lastCommit
+	}
+	return o
 }
 
 // Packet checks one received event aggregate: the decoded event count must

@@ -127,6 +127,11 @@ type Options struct {
 	// as the CMB lookahead. It must not exceed the model's true minimum
 	// send delay.
 	Lookahead vtime.Time
+	// Balance, when Enabled, turns on the dynamic load balancer in every
+	// parallel leg — the migration-on slice of the matrix. Object migration
+	// must never change simulation semantics, so every differential and
+	// invariant check applies unchanged.
+	Balance core.BalanceConfig
 	// Cells selects the matrix subset to run (nil = the full Matrix()).
 	Cells []Cell
 }
@@ -293,6 +298,7 @@ func runCell(m *model.Model, cell Cell, opts Options, gvtPeriod time.Duration,
 		GVTPeriod:      gvtPeriod,
 		OptimismWindow: opts.OptimismWindow,
 		InboxDepth:     1 << 14,
+		Balance:        opts.Balance,
 		Audit:          au,
 	}
 	out := CellResult{Cell: cell}

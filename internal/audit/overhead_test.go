@@ -31,6 +31,10 @@ func TestDisabledPathAllocatesNothing(t *testing.T) {
 		"LPAudit.Packet":          func() { l.Packet(1, 1) },
 		"LPAudit.ApplyGVT":        func() { l.ApplyGVT(5) },
 		"LPAudit.GVTRound":        func() { l.GVTRound(0, 5, 5) },
+		"LPAudit.Forward":         func() { l.Forward(e) },
+		"LPAudit.MigrateOut":      func() { l.MigrateOut(1, 2, 3, 0) },
+		"LPAudit.MigrateIn":       func() { l.MigrateIn(1, 0, 3, 3, 0, 0) },
+		"LPAudit.Adopt":           func() { _ = l.Adopt(nil, 1) },
 		"ObjectAudit.Deliver":     func() { o.Deliver(e) },
 		"ObjectAudit.Execute":     func() { o.Execute(e) },
 		"ObjectAudit.Commit":      func() { o.Commit(e, 20) },

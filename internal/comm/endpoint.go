@@ -229,6 +229,36 @@ func (e *Endpoint) DecodeEvents(p Packet) ([]*event.Event, error) {
 	return evs, nil
 }
 
+// SendMigrateReq asks dst — the LP currently recorded as owning obj — to
+// migrate obj to LP to. A control message: no GVT accounting (it carries no
+// events), and the owner drops it silently if the object has since moved on.
+func (e *Endpoint) SendMigrateReq(dst int, obj int32, to int) {
+	e.net.deliver(dst, Packet{Kind: PktMigrateReq, From: e.lp, Object: obj, Dst: to}, controlBytes)
+}
+
+// SendMigration ships a packed object to dst. minTime is the capsule's
+// virtual-time floor — the minimum over the packed object's unprocessed
+// events and unresolved lazy outputs. The capsule is counted as one logical
+// message under the current GVT color with minTime folded into the red
+// minimum, exactly as if it were an event at that time: a white capsule keeps
+// the token's in-transit count positive until received, a red one keeps MMsg
+// at or below its floor, so GVT can never pass the work the capsule carries.
+// approxBytes sizes the transfer for the communication cost model.
+func (e *Endpoint) SendMigration(dst int, capsule any, minTime vtime.Time, approxBytes int) {
+	e.sent[e.color]++
+	e.tmin = vtime.Min(e.tmin, minTime)
+	e.net.deliver(dst, Packet{Kind: PktMigrate, From: e.lp, Color: e.color, Capsule: capsule}, approxBytes)
+}
+
+// ReceiveMigration books the arrival of a migration capsule under the color
+// it was sent with, balancing SendMigration's in-transit accounting. The
+// caller installs the capsule before contributing another local minimum, so
+// the carried work is covered either by the transit count or by the
+// receiver's minimum — never by neither.
+func (e *Endpoint) ReceiveMigration(p Packet) {
+	e.recv[p.Color&1]++
+}
+
 // SendNull sends a CMB null message promising no event below bound.
 func (e *Endpoint) SendNull(dst int, bound vtime.Time) {
 	e.net.deliver(dst, Packet{Kind: PktNull, From: e.lp, Bound: bound}, controlBytes)

@@ -19,6 +19,15 @@ const (
 	// PktNull is a conservative-kernel (Chandy-Misra-Bryant) null message:
 	// a promise that the sender will emit no event below Bound.
 	PktNull
+	// PktMigrateReq asks the LP believed to own Object to migrate it to the
+	// LP named by Dst (pure control plane; the owner may decline a stale
+	// request).
+	PktMigrateReq
+	// PktMigrate carries a packed simulation object between LPs. It is
+	// color-accounted like an events packet (see Endpoint.SendMigration) so
+	// the Mattern GVT token treats an in-flight capsule as a transient
+	// message and can never overtake the events it carries.
+	PktMigrate
 )
 
 // Token is the Mattern-style GVT token (see internal/gvt for the protocol).
@@ -54,6 +63,14 @@ type Packet struct {
 	GVT     vtime.Time
 	// Bound is a null message's lower bound on the sender's future events.
 	Bound vtime.Time
+	// Object and Dst parameterize a PktMigrateReq: migrate Object to LP Dst.
+	Object int32
+	Dst    int
+	// Capsule is a PktMigrate payload: the packed object, opaque to this
+	// layer (the kernel defines the concrete type). It rides as a pointer
+	// because the substrate is in-process; the ownership contract is still
+	// message-passing — the sender never touches it after deliver.
+	Capsule any
 }
 
 // controlBytes approximates the wire size of a control packet for the cost

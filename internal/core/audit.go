@@ -6,44 +6,62 @@ import (
 	"gowarp/internal/event"
 )
 
-// finishAudit runs the auditor's end-of-run sweep after every LP goroutine
-// has joined (and only when none panicked), while the whole kernel state is
-// quiescent and single-threaded:
-//
-//   - undrained inboxes are decoded: every leftover event must lie beyond
-//     the simulated horizon (the LPs stop only once GVT strictly passes the
-//     end time, so nothing executable may remain in flight);
-//   - the same holds for leftover deferred intra-LP messages and for every
-//     object's pending set;
-//   - orphan anti-messages still parked are cancellation leaks;
-//   - the message-conservation ledger is closed: events handed to the
-//     communication substrate == events delivered + events still in
-//     aggregation buffers + events decoded out of the undrained inboxes.
-func finishAudit(au *audit.Auditor, lps []*lpRun) {
-	var buffered, undelivered int64
-	for _, lp := range lps {
+// drainInboxes empties every LP's inbox after the goroutines have joined and
+// returns the leftover packets per LP. Run always performs this sweep: stray
+// migration capsules must be adopted by their destination even when auditing
+// is off, and the auditor (when on) closes its conservation ledger over the
+// same packets.
+func drainInboxes(lps []*lpRun) [][]comm.Packet {
+	out := make([][]comm.Packet, len(lps))
+	for i, lp := range lps {
 	drain:
 		for {
 			select {
 			case p := <-lp.inbox:
-				if p.Kind != comm.PktEvents {
-					continue
-				}
-				buf := p.Payload
-				for len(buf) > 0 {
-					ev, rest, err := event.Decode(buf)
-					if err != nil {
-						// Undecodable leftovers would silently unbalance the
-						// conservation check; surface them as lost payload.
-						au.LostEvent(lp.id, &event.Event{Receiver: -1}, "a corrupt leftover packet")
-						break
-					}
-					undelivered++
-					au.LostEvent(lp.id, ev, "an undrained inbox")
-					buf = rest
-				}
+				out[i] = append(out[i], p)
 			default:
 				break drain
+			}
+		}
+	}
+	return out
+}
+
+// finishAudit runs the auditor's end-of-run sweep after every LP goroutine
+// has joined (and only when none panicked), while the whole kernel state is
+// quiescent and single-threaded:
+//
+//   - leftover events packets are decoded: every leftover event must lie
+//     beyond the simulated horizon (the LPs stop only once GVT strictly
+//     passes the end time, so nothing executable may remain in flight);
+//   - the same holds for leftover deferred intra-LP messages and for every
+//     object's pending set (including objects adopted out of stray migration
+//     capsules — their pending events are checked like everyone else's);
+//   - orphan anti-messages still parked are cancellation leaks;
+//   - the message-conservation ledger is closed: events handed to the
+//     communication substrate == events delivered + events still in
+//     aggregation buffers + events decoded out of the undrained inboxes.
+//     Capsule-carried events bypass the ledger on both sides; forwarded
+//     events enter it once per hop.
+func finishAudit(au *audit.Auditor, lps []*lpRun, leftovers [][]comm.Packet) {
+	var buffered, undelivered int64
+	for i, lp := range lps {
+		for _, p := range leftovers[i] {
+			if p.Kind != comm.PktEvents {
+				continue
+			}
+			buf := p.Payload
+			for len(buf) > 0 {
+				ev, rest, err := event.Decode(buf)
+				if err != nil {
+					// Undecodable leftovers would silently unbalance the
+					// conservation check; surface them as lost payload.
+					au.LostEvent(lp.id, &event.Event{Receiver: -1}, "a corrupt leftover packet")
+					break
+				}
+				undelivered++
+				au.LostEvent(lp.id, ev, "an undrained inbox")
+				buf = rest
 			}
 		}
 		buffered += lp.ep.Buffered()

@@ -83,6 +83,64 @@ type Config struct {
 	// violation (see audit.Auditor). Nil disables auditing at the cost of a
 	// pointer comparison per hook site.
 	Audit *audit.Auditor
+
+	// Balance configures on-line dynamic load balancing: object placement
+	// becomes a fourth controlled facet, with objects migrating between LPs
+	// at run time under a <O,I,S,T,P> controller (see BalanceConfig).
+	// Disabled by default; when disabled the kernel behaves exactly as with
+	// static placement.
+	Balance BalanceConfig
+}
+
+// BalanceConfig parameterizes the load-balancing controller as the paper's
+// control tuple: the sampled output O is the per-LP committed-event share
+// published to a load board at each GVT application, the configured item I is
+// the object→LP assignment (the routing table), the initial setting S is the
+// model's static partition, the transfer function T migrates the best
+// boundary object from the most- to the least-loaded LP when the imbalance
+// leaves a dead zone, and the period P is a multiple of the GVT period.
+type BalanceConfig struct {
+	// Enabled turns migration and the controller on. Off, the kernel takes
+	// the static-placement fast path: no load recording, no controller, and
+	// routing-table reads are single atomic loads.
+	Enabled bool
+	// Period is the number of GVT applications between controller firings
+	// (the P component; default 8).
+	Period int
+	// HighWater and LowWater bound the dead zone on the load-imbalance
+	// metric max/mean: the controller starts migrating when imbalance
+	// exceeds HighWater and stops once it falls below LowWater (defaults
+	// 1.25 and 1.10).
+	HighWater float64
+	LowWater  float64
+	// MaxMoves caps migrations issued per controller firing (default 1).
+	MaxMoves int
+	// MinSample is the minimum number of events processed across all LPs
+	// within the observation window before the controller acts; windows
+	// thinner than this are statistical noise (default 64).
+	MinSample int64
+}
+
+func (c BalanceConfig) withDefaults() BalanceConfig {
+	if c.Period <= 0 {
+		c.Period = 8
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = 1.25
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 1.10
+	}
+	if c.LowWater > c.HighWater {
+		c.LowWater = c.HighWater
+	}
+	if c.MaxMoves <= 0 {
+		c.MaxMoves = 1
+	}
+	if c.MinSample <= 0 {
+		c.MinSample = 64
+	}
+	return c
 }
 
 // DefaultConfig returns a configuration matching the paper's all-static
@@ -121,6 +179,11 @@ type Result struct {
 	// Timeline holds per-LP adaptation samples (only when Config.Timeline
 	// was set).
 	Timeline []LPTimeline
+	// FinalPartition is the object→LP assignment when the run ended. It
+	// equals the model's static partition unless load balancing migrated
+	// objects. Wall-clock-dependent when balancing is on, so it is not part
+	// of the deterministic run artifact.
+	FinalPartition []int
 }
 
 // EventRate returns committed events per second of wall-clock time — the

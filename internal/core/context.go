@@ -38,7 +38,7 @@ func (c *execContext) Send(to event.ObjectID, delay vtime.Time, kind uint32, pay
 	if delay < 0 {
 		panic(fmt.Sprintf("core: object %d sent an event into its own past (delay %s)", o.id, delay))
 	}
-	if int(to) < 0 || int(to) >= len(o.lp.k.lpOf) {
+	if int(to) < 0 || int(to) >= len(o.lp.k.objs) {
 		panic(fmt.Sprintf("core: object %d sent to unknown object %d", o.id, to))
 	}
 	now := c.Now()

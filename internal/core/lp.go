@@ -10,16 +10,23 @@ import (
 	"gowarp/internal/event"
 	"gowarp/internal/gvt"
 	"gowarp/internal/pq"
+	"gowarp/internal/route"
 	"gowarp/internal/statesave"
 	"gowarp/internal/stats"
 	"gowarp/internal/telemetry"
 	"gowarp/internal/vtime"
 )
 
-// shared holds the read-only cross-LP tables.
+// shared holds the cross-LP tables. rt is the only one mutated after start:
+// the routing table's entries move when objects migrate (single atomic words;
+// see internal/route). objs is written only during construction and the
+// end-of-run sweep; during the run each LP touches only the objects it hosts.
 type shared struct {
-	lpOf []int        // ObjectID -> hosting LP
-	objs []*simObject // ObjectID -> runtime (each LP touches only its own)
+	rt   *route.Table // ObjectID -> hosting LP, migration-aware
+	objs []*simObject // ObjectID -> runtime
+	// board is the load balancer's observation channel; nil unless
+	// Config.Balance.Enabled.
+	board *stats.LoadBoard
 }
 
 // lpRun is one logical process: a goroutine owning a set of simulation
@@ -64,6 +71,24 @@ type lpRun struct {
 	// disabled; hot paths guard on the pointer so the off path costs one
 	// comparison).
 	au *audit.LPAudit
+
+	// local maps ObjectID to the hosted runtime, nil for objects living
+	// elsewhere. It is this LP's authoritative view of what it hosts —
+	// consulted before the shared routing table on every route and delivery,
+	// so a stale table entry can misdirect an event (which is then
+	// forwarded) but never misdeliver one.
+	local []*simObject
+	// outbound maps objects this LP migrated away to their destination, for
+	// the window where the routing table still names this LP (the table
+	// flips only after the destination installs the capsule). Entries are
+	// deleted if the object ever migrates back here.
+	outbound map[event.ObjectID]int
+
+	// ld accumulates this LP's load observations between GVT applications;
+	// bal is the balancing controller (LP 0 only). Both are nil unless
+	// Config.Balance.Enabled, so static runs pay one pointer comparison.
+	ld  *loadRecorder
+	bal *balancer
 }
 
 // refresh re-keys o in the schedule heap after its pending set changed.
@@ -71,20 +96,58 @@ func (lp *lpRun) refresh(o *simObject) {
 	lp.sched.Update(o.slot, o.nextTime())
 }
 
-// route delivers an outgoing event: directly (deferred) for a co-hosted
+// route delivers an outgoing event: directly (deferred) for a locally hosted
 // receiver, through the network otherwise. Urgent messages (anti-messages)
-// flush the aggregation buffer immediately.
+// flush the aggregation buffer immediately. Hosting is decided by this LP's
+// own local table, not the shared routing table, so an object this LP is
+// about to migrate still receives intra-LP sends until the capsule is packed.
 func (lp *lpRun) route(ev *event.Event, urgent bool) {
-	dst := lp.k.lpOf[ev.Receiver]
-	if lp.au != nil {
-		lp.au.Route(ev, dst != lp.id)
+	if lp.ld != nil && ev.Sender != ev.Receiver {
+		lp.ld.edges[stats.EdgeKey(int32(ev.Sender), int32(ev.Receiver))]++
 	}
-	if dst == lp.id {
+	if lp.local[ev.Receiver] != nil {
+		if lp.au != nil {
+			lp.au.Route(ev, false)
+		}
 		lp.deferred = append(lp.deferred, ev)
 		lp.st.IntraLPMsgs++
 		return
 	}
-	lp.ep.Send(ev, dst, urgent)
+	if lp.au != nil {
+		lp.au.Route(ev, true)
+	}
+	lp.ep.Send(ev, lp.owner(ev.Receiver), urgent)
+}
+
+// owner resolves the LP to address for an object this LP does not host. The
+// shared routing table answers except during the in-flight window of a
+// migration this LP initiated, when the table still names this LP and the
+// outbound hint names the capsule's destination.
+func (lp *lpRun) owner(id event.ObjectID) int {
+	dst := lp.k.rt.Owner(int(id))
+	if dst != lp.id {
+		return dst
+	}
+	if to, ok := lp.outbound[id]; ok {
+		return to
+	}
+	panic(fmt.Sprintf("core: LP %d: routing table names this LP for object %d, but it is neither hosted nor in flight", lp.id, id))
+}
+
+// deliver hands an arriving event to its target object. If the object has
+// migrated away, the event is forwarded to the current owner: per-sender FIFO
+// channels guarantee the capsule left before any event we could be holding,
+// so the routing table (or our own outbound hint) already knows a newer home.
+func (lp *lpRun) deliver(ev *event.Event) {
+	if o := lp.local[ev.Receiver]; o != nil {
+		o.deliver(ev)
+		return
+	}
+	if lp.au != nil {
+		lp.au.Forward(ev)
+	}
+	lp.st.ForwardedMsgs++
+	lp.ep.Send(ev, lp.owner(ev.Receiver), ev.IsAnti())
 }
 
 // emitAnti is the cancellation managers' transmit hook.
@@ -97,7 +160,7 @@ func (lp *lpRun) drainDeferred() {
 		q := lp.deferred
 		lp.deferred = nil
 		for _, ev := range q {
-			lp.k.objs[ev.Receiver].deliver(ev)
+			lp.deliver(ev)
 		}
 	}
 }
@@ -125,8 +188,13 @@ func (lp *lpRun) handlePacket(p comm.Packet) {
 			lp.au.Packet(len(evs), p.Count)
 		}
 		for _, ev := range evs {
-			lp.k.objs[ev.Receiver].deliver(ev)
+			lp.deliver(ev)
 		}
+	case comm.PktMigrateReq:
+		lp.onMigrateReq(p)
+	case comm.PktMigrate:
+		lp.ep.ReceiveMigration(p)
+		lp.install(p)
 	case comm.PktToken:
 		lp.drainDeferred()
 		if g, found := lp.gvtMgr.OnToken(p.Token, lp.localMin()); found {
@@ -211,6 +279,12 @@ func (lp *lpRun) applyGVT(g vtime.Time) {
 	}
 	for _, o := range lp.objs {
 		o.fossilCollect(g)
+	}
+	if lp.ld != nil {
+		lp.publishLoad()
+		if lp.bal != nil {
+			lp.runBalancer()
+		}
 	}
 	lp.applyTuner()
 	if lp.cfg.Timeline {

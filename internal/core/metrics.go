@@ -26,6 +26,9 @@ type runMetrics struct {
 	aggWindow    *telemetry.Metric
 	physMsgs     *telemetry.Metric
 	antiMsgs     *telemetry.Metric
+	migrations   *telemetry.Metric
+	forwarded    *telemetry.Metric
+	hostedObjs   *telemetry.Metric
 }
 
 func newRunMetrics(reg *telemetry.Registry, numLPs int) *runMetrics {
@@ -46,6 +49,9 @@ func newRunMetrics(reg *telemetry.Registry, numLPs int) *runMetrics {
 		aggWindow:    reg.Gauge("gowarp_aggregation_window_seconds", "Mean adaptive aggregation window across remote destinations.", true),
 		physMsgs:     reg.Counter("gowarp_physical_msgs_sent_total", "Physical messages placed on the simulated wire.", true),
 		antiMsgs:     reg.Counter("gowarp_anti_msgs_sent_total", "Anti-messages sent.", true),
+		migrations:   reg.Counter("gowarp_migrations_total", "Object migrations installed on this LP.", true),
+		forwarded:    reg.Counter("gowarp_forwarded_msgs_total", "Events forwarded after arriving at a former owner.", true),
+		hostedObjs:   reg.Gauge("gowarp_hosted_objects", "Simulation objects currently hosted by this LP.", true),
 	}
 }
 
@@ -76,6 +82,9 @@ func (lp *lpRun) publishMetrics(g vtime.Time) {
 	m.hitRatio.Set(id, st.HitRatio())
 	m.physMsgs.Set(id, float64(st.PhysicalMsgsSent))
 	m.antiMsgs.Set(id, float64(st.AntiMsgsSent))
+	m.migrations.Set(id, float64(st.Migrations))
+	m.forwarded.Set(id, float64(st.ForwardedMsgs))
+	m.hostedObjs.Set(id, float64(len(lp.objs)))
 
 	meanChi, lazy, meanWindow := lp.controlSnapshot()
 	m.meanChi.Set(id, meanChi)

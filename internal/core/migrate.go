@@ -1,0 +1,166 @@
+package core
+
+import (
+	"time"
+
+	"gowarp/internal/audit"
+	"gowarp/internal/cancel"
+	"gowarp/internal/comm"
+	"gowarp/internal/pq"
+	"gowarp/internal/vtime"
+)
+
+// This file implements object migration: packing a quiescent simulation
+// object — working state, pending events, processed history, state queue,
+// output queue, per-object controller state — into a capsule, shipping it to
+// another LP over the communication substrate, and installing it there.
+//
+// Correctness rests on three pillars:
+//
+//   - GVT soundness: the capsule is color-accounted like an events packet
+//     (Endpoint.SendMigration / ReceiveMigration) with the object's
+//     virtual-time floor folded into the red minimum, so GVT can never
+//     overtake the unprocessed work the capsule carries.
+//
+//   - No lost or duplicated events: the source packs at a safe point (the
+//     packet-handling loop, never mid-execution) after draining its deferred
+//     queue, so every event it has accepted for the object travels inside the
+//     capsule. Events that arrive at the source afterwards find the object
+//     gone and are forwarded to the destination; per-sender FIFO channels
+//     guarantee the capsule precedes any such forward from the source itself.
+//
+//   - Routing convergence: the shared routing table flips only after the
+//     destination installs the object, so a direct send routed by the new
+//     entry always arrives post-install; until then senders reach the source,
+//     which forwards using its outbound hint.
+
+// capsule is the migration payload: the object runtime itself plus the
+// integrity manifest the destination checks on install.
+type capsule struct {
+	o    *simObject
+	from int
+	// pending is the unprocessed-event count at pack time; hash is the
+	// structural hash of the working state (0 when auditing is off). The
+	// installing LP verifies both — a mismatch means the move lost events or
+	// state.
+	pending int
+	hash    uint64
+}
+
+// approxCapsuleBytes sizes a capsule for the communication cost model: a
+// fixed overhead plus a per-pending-event charge.
+func approxCapsuleBytes(pending int) int { return 256 + 64*pending }
+
+// onMigrateReq handles a migration request from the balancing controller.
+// Stale or unsafe requests are dropped silently: the object may have moved
+// on, the request may name this LP itself, or honoring it would empty this
+// LP (the kernel requires every LP to host at least one object).
+func (lp *lpRun) onMigrateReq(p comm.Packet) {
+	id := int(p.Object)
+	if id < 0 || id >= len(lp.local) || p.Dst < 0 || p.Dst >= lp.numLPs || p.Dst == lp.id {
+		return
+	}
+	o := lp.local[id]
+	if o == nil || len(lp.objs) <= 1 {
+		return
+	}
+	lp.migrateOut(o, p.Dst)
+}
+
+// migrateOut packs o and ships it to LP to. Called only from safe points
+// (packet handling, the balancer at GVT application), never while o is
+// executing.
+func (lp *lpRun) migrateOut(o *simObject, to int) {
+	// Flush everything this LP still owes the object: queued intra-LP
+	// messages (which may trigger rollbacks that change its queues) and
+	// stale lazy-pending outputs.
+	lp.drainDeferred()
+	o.drainStale()
+
+	// Detach: swap-remove from the hosted set, fix the displaced object's
+	// slot, and rebuild the scheduler over the survivors.
+	last := len(lp.objs) - 1
+	lp.objs[o.slot] = lp.objs[last]
+	lp.objs[o.slot].slot = o.slot
+	lp.objs[last] = nil
+	lp.objs = lp.objs[:last]
+	lp.local[o.id] = nil
+	lp.outbound[o.id] = to
+	lp.rebuildSched()
+
+	c := &capsule{o: o, from: lp.id, pending: o.pending.Len()}
+	if lp.au != nil {
+		c.hash = audit.HashState(o.state)
+		lp.au.MigrateOut(o.id, to, c.pending, c.hash)
+	}
+
+	// The capsule's virtual-time floor: the minimum over the object's
+	// unprocessed events and its unresolved lazy outputs. Folding it into
+	// the GVT color accounting keeps GVT at or below everything in flight.
+	floor := vtime.Min(o.nextTime(), o.out.MinPending())
+	lp.ep.SendMigration(to, c, floor, approxCapsuleBytes(c.pending))
+}
+
+// install adopts a migrated object arriving in p: rebind it to this LP,
+// verify the capsule manifest, and only then flip the shared routing table —
+// after the flip, events routed by the new entry arrive at an LP that is
+// ready to execute the object.
+func (lp *lpRun) install(p comm.Packet) {
+	c := p.Capsule.(*capsule)
+	o := c.o
+
+	o.lp = lp
+	o.slot = len(lp.objs)
+	lp.objs = append(lp.objs, o)
+	lp.local[o.id] = o
+	delete(lp.outbound, o.id) // the object may be coming back home
+	lp.rebuildSched()
+
+	// Rebind the pieces that point at the hosting LP: the output queue's
+	// anti-message emitter and counters, and the controller trace hooks.
+	o.out.Rebind(lp.emitAnti, &lp.st)
+	bindObjectHooks(lp, o)
+
+	if lp.au != nil {
+		o.au = lp.au.Adopt(o.au, o.id)
+		lp.au.MigrateIn(o.id, c.from, c.pending, o.pending.Len(), c.hash, audit.HashState(o.state))
+	}
+
+	lp.st.Migrations++
+	lp.st.MigratedEvents += int64(c.pending)
+	epoch := lp.k.rt.Move(int(o.id), lp.id)
+	lp.tr.Migration(int32(o.id), int32(c.from), int64(c.pending), int64(epoch))
+}
+
+// rebuildSched reassigns dense slots and rebuilds the schedule heap after
+// this LP's hosted set changed. Migrations are rare (controller-period
+// granularity), so the O(n) rebuild is irrelevant next to the per-event path.
+func (lp *lpRun) rebuildSched() {
+	lp.sched = pq.NewScheduleHeap(len(lp.objs))
+	for i, o := range lp.objs {
+		o.slot = i
+		lp.sched.Update(i, o.nextTime())
+	}
+}
+
+// bindObjectHooks points o's controller trace hooks at lp's recorder (or
+// clears them when tracing is off). Used at construction and re-used when a
+// migrated object is installed on a new LP.
+func bindObjectHooks(lp *lpRun, o *simObject) {
+	sel := o.out.Selector()
+	tr := lp.tr
+	if tr == nil {
+		o.ckpt.Hook = nil
+		sel.Hook = nil
+		return
+	}
+	objID := int32(o.id)
+	o.ckpt.Hook = func(oldChi, newChi int, ec time.Duration) {
+		if oldChi != newChi {
+			tr.CheckpointAdjust(objID, oldChi, newChi, ec)
+		}
+	}
+	sel.Hook = func(to cancel.Strategy, hitRatio float64) {
+		tr.StrategySwitch(objID, to == cancel.Lazy, int64(hitRatio*1000))
+	}
+}

@@ -241,6 +241,9 @@ func (o *simObject) executeNext() {
 	o.lastExec = ev
 	o.lvt = ev.RecvTime
 	lp.st.EventsProcessed++
+	if lp.ld != nil {
+		lp.ld.exec[o.id]++
+	}
 
 	o.out.AfterExecute(ev)
 

@@ -11,6 +11,7 @@ import (
 	"gowarp/internal/gvt"
 	"gowarp/internal/model"
 	"gowarp/internal/pq"
+	"gowarp/internal/route"
 	"gowarp/internal/statesave"
 	"gowarp/internal/stats"
 	"gowarp/internal/vtime"
@@ -27,12 +28,15 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: non-positive end time %s", cfg.EndTime)
 	}
 	numLPs := m.NumLPs()
+	cfg.Balance = cfg.Balance.withDefaults()
 
 	sh := &shared{
-		lpOf: make([]int, len(m.Objects)),
+		rt:   route.New(m.Partition),
 		objs: make([]*simObject, len(m.Objects)),
 	}
-	copy(sh.lpOf, m.Partition)
+	if cfg.Balance.Enabled {
+		sh.board = stats.NewLoadBoard(len(m.Objects), numLPs)
+	}
 
 	start := time.Now()
 	cfg.Tracer.Bind(numLPs, start)
@@ -57,9 +61,17 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 			tr:       cfg.Tracer.LP(i),
 			met:      met,
 			au:       cfg.Audit.LP(i),
+			local:    make([]*simObject, len(m.Objects)),
+			outbound: make(map[event.ObjectID]int),
 		}
 		if lp.idleTick <= 0 {
 			lp.idleTick = 250 * time.Microsecond
+		}
+		if cfg.Balance.Enabled {
+			lp.ld = newLoadRecorder(len(m.Objects))
+			if i == 0 {
+				lp.bal = newBalancer(cfg.Balance)
+			}
 		}
 		lp.ep = net.NewEndpoint(i, cfg.Aggregation, &lp.st)
 		lp.gvtMgr = gvt.NewManager(i, numLPs, lp.ep, cfg.GVTPeriod, &lp.st)
@@ -94,19 +106,10 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		o.ckpt = statesave.NewCheckpointer(cfg.Checkpoint)
 		sel := cancel.NewSelector(cfg.Cancellation)
 		o.out = cancel.NewManager(sel, lp.emitAnti, &lp.st)
-		if tr := lp.tr; tr != nil {
-			objID := int32(id)
-			o.ckpt.Hook = func(oldChi, newChi int, ec time.Duration) {
-				if oldChi != newChi {
-					tr.CheckpointAdjust(objID, oldChi, newChi, ec)
-				}
-			}
-			sel.Hook = func(to cancel.Strategy, hitRatio float64) {
-				tr.StrategySwitch(objID, to == cancel.Lazy, int64(hitRatio*1000))
-			}
-		}
+		bindObjectHooks(lp, o)
 		sh.objs[id] = o
 		lp.objs = append(lp.objs, o)
+		lp.local[id] = o
 	}
 	for _, lp := range lps {
 		lp.sched = pq.NewScheduleHeap(len(lp.objs))
@@ -135,16 +138,37 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: LP %d failed: %v", i, p)
 		}
 	}
+
+	// Drain undelivered packets once, for everyone: the auditor closes its
+	// conservation ledger over them, and any capsule still in flight at
+	// termination (possible only when its virtual-time floor lies beyond the
+	// end time) is adopted by its destination so the object's final state and
+	// counters are reported exactly once.
+	leftovers := drainInboxes(lps)
+	for i, pkts := range leftovers {
+		for _, p := range pkts {
+			if p.Kind != comm.PktMigrate {
+				continue
+			}
+			c := p.Capsule.(*capsule)
+			lp := lps[i]
+			c.o.lp = lp
+			c.o.slot = len(lp.objs)
+			lp.objs = append(lp.objs, c.o)
+			lp.local[c.o.id] = c.o
+		}
+	}
 	if cfg.Audit != nil {
-		finishAudit(cfg.Audit, lps)
+		finishAudit(cfg.Audit, lps, leftovers)
 	}
 
 	res := &Result{
-		PerLP:       make([]stats.Counters, numLPs),
-		PerObject:   make([]stats.PerObject, 0, len(sh.objs)),
-		GVT:         lps[0].gvtMgr.GVT(),
-		Elapsed:     elapsed,
-		FinalStates: make([]model.State, len(sh.objs)),
+		PerLP:          make([]stats.Counters, numLPs),
+		PerObject:      make([]stats.PerObject, 0, len(sh.objs)),
+		GVT:            lps[0].gvtMgr.GVT(),
+		Elapsed:        elapsed,
+		FinalStates:    make([]model.State, len(sh.objs)),
+		FinalPartition: sh.rt.Assignment(),
 	}
 	for _, o := range sh.objs {
 		o.commitRemaining()

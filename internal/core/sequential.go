@@ -6,6 +6,7 @@ import (
 
 	"gowarp/internal/event"
 	"gowarp/internal/model"
+	"gowarp/internal/partition"
 	"gowarp/internal/pq"
 	"gowarp/internal/spin"
 	"gowarp/internal/vtime"
@@ -55,7 +56,7 @@ func (c *seqContext) Send(to event.ObjectID, delay vtime.Time, kind uint32, payl
 		c.k.sendVT[c.id] = now
 		c.k.sendSeq[c.id] = 0
 	}
-	c.k.pending.Push(&event.Event{
+	ev := &event.Event{
 		SendTime: now,
 		RecvTime: now.Add(delay),
 		Sender:   c.id,
@@ -64,9 +65,13 @@ func (c *seqContext) Send(to event.ObjectID, delay vtime.Time, kind uint32, payl
 		SendSeq:  c.k.sendSeq[c.id],
 		Kind:     kind,
 		Payload:  payload,
-	})
+	}
+	c.k.pending.Push(ev)
 	c.k.seqs[c.id]++
 	c.k.sendSeq[c.id]++
+	if c.k.onSend != nil {
+		c.k.onSend(ev)
+	}
 }
 
 type seqKernel struct {
@@ -76,6 +81,9 @@ type seqKernel struct {
 	seqs    []uint64
 	sendVT  []vtime.Time
 	sendSeq []uint32
+	// onSend, when non-nil, observes every scheduled event (ProbeGraph uses
+	// it to measure the communication graph).
+	onSend func(*event.Event)
 }
 
 // RunSequential executes m in strict global timestamp order on a single
@@ -118,4 +126,62 @@ func RunSequential(m *model.Model, endTime vtime.Time, eventCost time.Duration) 
 	res.FinalStates = k.states
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// ProbeGraph executes a bounded sequential prefix of m (at most maxEvents
+// events, never past endTime) and returns the measured communication graph:
+// vertex weights are per-object execution counts, edge weights the events
+// exchanged between object pairs. The partitioning CLI uses it to feed the
+// communication-aware partitioner with observed rather than hand-estimated
+// weights. Models are reusable (InitialState builds fresh state per run), so
+// probing the same instance you are about to simulate is fine.
+func ProbeGraph(m *model.Model, endTime vtime.Time, maxEvents int64) (*partition.Graph, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if endTime <= 0 {
+		return nil, fmt.Errorf("core: non-positive end time %s", endTime)
+	}
+	if maxEvents <= 0 {
+		maxEvents = 10000
+	}
+	n := len(m.Objects)
+	k := &seqKernel{
+		endTime: endTime,
+		pending: pq.NewHeapSet(),
+		states:  make([]model.State, n),
+		seqs:    make([]uint64, n),
+		sendVT:  make([]vtime.Time, n),
+		sendSeq: make([]uint32, n),
+	}
+	g := partition.NewGraph(n)
+	k.onSend = func(ev *event.Event) {
+		if ev.Sender != ev.Receiver {
+			g.AddEdge(int(ev.Sender), int(ev.Receiver), 1)
+		}
+	}
+	exec := make([]float64, n)
+	for id, obj := range m.Objects {
+		st := obj.InitialState()
+		k.states[id] = st
+		ctx := seqContext{k: k, id: event.ObjectID(id)}
+		obj.Init(&ctx, st)
+	}
+	for done := int64(0); done < maxEvents; done++ {
+		ev := k.pending.PeekMin()
+		if ev == nil || ev.RecvTime.After(endTime) {
+			break
+		}
+		k.pending.PopMin()
+		ctx := seqContext{k: k, id: ev.Receiver, cur: ev}
+		m.Objects[ev.Receiver].Execute(&ctx, k.states[ev.Receiver], ev)
+		exec[ev.Receiver]++
+	}
+	for i, w := range exec {
+		if w <= 0 {
+			w = 1e-6 // unobserved: movable, never preferred
+		}
+		g.SetVertexWeight(i, w)
+	}
+	return g, nil
 }

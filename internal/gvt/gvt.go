@@ -16,6 +16,14 @@
 // LP 0 initiates computations on a wall-clock period and broadcasts the
 // result. Colors alternate between epochs, so the accounting needs only two
 // counter pairs per LP (owned by the communication endpoint).
+//
+// Object migration capsules ride the same accounting: the endpoint colors a
+// capsule like an event message, counts it in the sender's sent tally, and
+// folds the capsule's virtual-time floor (the minimum over its carried
+// pending events and unsent anti-messages) into the red minimum. An
+// in-flight capsule therefore holds GVT back exactly like a transient
+// message, so the token can never report a floor above state that is still
+// on the wire.
 package gvt
 
 import (

@@ -1,0 +1,125 @@
+package partition
+
+// This file is the transfer function of the load-balancing controller: given
+// a communication graph weighted with *measured* run statistics (rather than
+// the model's static estimates), pick the object moves that shrink load
+// imbalance. The policy follows the paper's framing of partitioning as a
+// controlled facet — the observation is the per-LP committed-event share, the
+// actuation is "migrate the hottest boundary object from the most- to the
+// least-loaded LP", and the strict-decrease admission test below makes the
+// imbalance metric monotonically non-increasing over controller steps.
+
+// MeasuredEdge is one observed communication pair: W events flowed between
+// objects A and B during the measurement window (direction ignored; the graph
+// is undirected).
+type MeasuredEdge struct {
+	A, B int
+	W    float64
+}
+
+// FromMeasurements builds a Graph over n objects from measured per-object
+// load (event executions) and measured communication edges. Objects with no
+// observed executions get a tiny positive weight so moving them is possible
+// but never preferred over measured work.
+func FromMeasurements(n int, load []float64, edges []MeasuredEdge) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		w := 0.0
+		if i < len(load) {
+			w = load[i]
+		}
+		if w <= 0 {
+			w = 1e-6
+		}
+		g.SetVertexWeight(i, w)
+	}
+	for _, e := range edges {
+		if e.A >= 0 && e.A < n && e.B >= 0 && e.B < n {
+			g.AddEdge(e.A, e.B, e.W)
+		}
+	}
+	return g
+}
+
+// Move is one rebalancing decision: migrate Object from LP From to LP To.
+type Move struct {
+	Object, From, To int
+}
+
+// Rebalance proposes up to maxMoves migrations that each strictly reduce the
+// load gap between the heaviest and lightest LP. Each step moves one object
+// from the most-loaded to the least-loaded LP, admitted only when
+//
+//	load[to] + w(object) < load[from]
+//
+// — the destination stays strictly below the source's former load and the
+// source strictly decreases, so the max LP load (and with it
+// Graph.LoadImbalance, whose denominator is invariant) never increases. A
+// source LP is never emptied. Among admissible objects the choice is
+// deterministic: prefer objects with communication affinity toward the
+// destination (moving them also shrinks the cut), then higher measured load,
+// then lower index. Returns the moves in application order; an empty slice
+// means the partition is already within what single moves can improve.
+func Rebalance(g *Graph, part []int, lps, maxMoves int) []Move {
+	if lps < 2 || maxMoves <= 0 || g.Len() != len(part) {
+		return nil
+	}
+	cur := make([]int, len(part))
+	copy(cur, part)
+	loads := make([]float64, lps)
+	counts := make([]int, lps)
+	for i, p := range cur {
+		if p < 0 || p >= lps {
+			return nil
+		}
+		loads[p] += g.vertex[i]
+		counts[p]++
+	}
+
+	var moves []Move
+	for len(moves) < maxMoves {
+		from, to := 0, 0
+		for p := 1; p < lps; p++ {
+			if loads[p] > loads[from] {
+				from = p
+			}
+			if loads[p] < loads[to] {
+				to = p
+			}
+		}
+		if from == to || counts[from] <= 1 {
+			break
+		}
+
+		best := -1
+		var bestAff, bestW float64
+		for v := 0; v < g.Len(); v++ {
+			if cur[v] != from {
+				continue
+			}
+			w := g.vertex[v]
+			if w <= 0 || loads[to]+w >= loads[from] {
+				continue
+			}
+			aff := 0.0
+			for peer, ew := range g.adj[v] {
+				if cur[peer] == to {
+					aff += ew
+				}
+			}
+			if best == -1 || aff > bestAff || (aff == bestAff && w > bestW) {
+				best, bestAff, bestW = v, aff, w
+			}
+		}
+		if best == -1 {
+			break
+		}
+		moves = append(moves, Move{Object: best, From: from, To: to})
+		cur[best] = to
+		loads[from] -= g.vertex[best]
+		loads[to] += g.vertex[best]
+		counts[from]--
+		counts[to]++
+	}
+	return moves
+}

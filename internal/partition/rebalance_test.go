@@ -1,0 +1,126 @@
+package partition
+
+import "testing"
+
+func TestFromMeasurements(t *testing.T) {
+	g := FromMeasurements(3, []float64{10, 0, 5}, []MeasuredEdge{
+		{A: 0, B: 1, W: 4},
+		{A: 1, B: 0, W: 2}, // accumulates onto the same undirected edge
+		{A: 0, B: 9, W: 7}, // out of range: dropped
+	})
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.vertex[0] != 10 || g.vertex[2] != 5 {
+		t.Errorf("vertex weights = %v", g.vertex)
+	}
+	if g.vertex[1] <= 0 {
+		t.Errorf("unobserved object got non-positive weight %v", g.vertex[1])
+	}
+	if w := g.EdgeWeight(0, 1); w != 6 {
+		t.Errorf("EdgeWeight(0,1) = %v, want 6", w)
+	}
+	if w := g.EdgeWeight(0, 2); w != 0 {
+		t.Errorf("EdgeWeight(0,2) = %v, want 0", w)
+	}
+}
+
+func TestRebalanceMovesHotObjectToLightLP(t *testing.T) {
+	// LP0 hosts three objects (loads 10, 8, 1), LP1 one light object.
+	g := FromMeasurements(4, []float64{10, 8, 1, 1}, []MeasuredEdge{{A: 1, B: 3, W: 5}})
+	part := []int{0, 0, 0, 1}
+	moves := Rebalance(g, part, 2, 1)
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v, want exactly one", moves)
+	}
+	// Object 1 has affinity toward LP1 (edge to object 3) and satisfies the
+	// strict-decrease test; it must win over the heavier but unconnected 0.
+	if moves[0] != (Move{Object: 1, From: 0, To: 1}) {
+		t.Errorf("move = %+v, want {1 0 1}", moves[0])
+	}
+}
+
+func TestRebalanceNeverEmptiesAnLP(t *testing.T) {
+	g := FromMeasurements(2, []float64{10, 1}, nil)
+	part := []int{0, 1}
+	if moves := Rebalance(g, part, 2, 4); len(moves) != 0 {
+		t.Errorf("moves = %v, want none (source would be emptied)", moves)
+	}
+}
+
+func TestRebalanceStopsWhenNoStrictImprovement(t *testing.T) {
+	// Moving either object from LP0 makes LP1 at least as heavy as LP0 was.
+	g := FromMeasurements(3, []float64{5, 5, 9}, nil)
+	part := []int{0, 0, 1}
+	if moves := Rebalance(g, part, 2, 4); len(moves) != 0 {
+		t.Errorf("moves = %v, want none", moves)
+	}
+}
+
+// TestRebalanceImbalanceMonotone is the controller-correctness property from
+// the issue: on a skewed synthetic workload, applying the transfer function
+// step by step never increases LoadImbalance and strictly improves it overall.
+func TestRebalanceImbalanceMonotone(t *testing.T) {
+	const n, lps = 16, 4
+	load := make([]float64, n)
+	var edges []MeasuredEdge
+	for i := range load {
+		load[i] = float64(1 + (i*7)%13)
+		edges = append(edges, MeasuredEdge{A: i, B: (i + 1) % n, W: float64(1 + i%3)})
+	}
+	g := FromMeasurements(n, load, edges)
+	// Heavily skewed start: everything on LP0 except one object per other LP.
+	part := make([]int, n)
+	for p := 1; p < lps; p++ {
+		part[n-p] = p
+	}
+
+	prev := g.LoadImbalance(part, lps)
+	start := prev
+	steps := 0
+	for {
+		moves := Rebalance(g, part, lps, 1)
+		if len(moves) == 0 {
+			break
+		}
+		for _, m := range moves {
+			if part[m.Object] != m.From {
+				t.Fatalf("move %+v disagrees with partition %v", m, part)
+			}
+			part[m.Object] = m.To
+		}
+		cur := g.LoadImbalance(part, lps)
+		if cur > prev+1e-12 {
+			t.Fatalf("step %d increased imbalance: %v -> %v", steps, prev, cur)
+		}
+		prev = cur
+		steps++
+		if steps > n*lps {
+			t.Fatalf("controller failed to converge after %d steps", steps)
+		}
+	}
+	if steps == 0 {
+		t.Fatal("controller proposed no moves on a skewed workload")
+	}
+	if prev >= start {
+		t.Errorf("imbalance did not improve: start %v, end %v", start, prev)
+	}
+	if err := Validate(part, n); err != nil {
+		t.Errorf("final partition invalid: %v", err)
+	}
+}
+
+func TestRebalanceRespectsMaxMoves(t *testing.T) {
+	const n = 12
+	load := make([]float64, n)
+	for i := range load {
+		load[i] = 1
+	}
+	g := FromMeasurements(n, load, nil)
+	part := make([]int, n) // all on LP0
+	part[n-1] = 1
+	moves := Rebalance(g, part, 2, 3)
+	if len(moves) != 3 {
+		t.Errorf("len(moves) = %d, want 3", len(moves))
+	}
+}

@@ -1,0 +1,72 @@
+// Package route holds the kernel's object→LP routing table: the mutable
+// successor of the static partition the model was built with. The paper
+// singles partitioning out as the facet the other controllers are most
+// sensitive to; making it adjustable at run time means the mapping from
+// simulation object to hosting logical process must be readable on every
+// event send — the kernel's hottest path — while a migration occasionally
+// rewrites one entry from another goroutine.
+//
+// A Table therefore stores one atomic owner word per object plus a global
+// epoch counter. Reads (Owner) are wait-free single atomic loads, so a kernel
+// that never migrates pays nothing over the old immutable slice. A writer
+// (the LP installing a migrated object) stores the new owner and bumps the
+// epoch; the epoch lets observers cheaply detect "some placement changed
+// since I last looked" without diffing the whole table.
+//
+// The table is deliberately allowed to lag reality: during a migration the
+// entry still names the source LP until the destination has installed the
+// capsule. Senders that route on a stale entry are corrected by the
+// forwarding path in internal/core — events that arrive at a non-owner are
+// re-sent to the current owner rather than asserted against.
+package route
+
+import "sync/atomic"
+
+// Table is an atomically-updatable object→LP assignment.
+type Table struct {
+	owner []atomic.Int32
+	epoch atomic.Uint64
+}
+
+// New returns a table initialized from the static assignment (object index →
+// LP index), typically a model's Partition.
+func New(assign []int) *Table {
+	t := &Table{owner: make([]atomic.Int32, len(assign))}
+	for i, lp := range assign {
+		t.owner[i].Store(int32(lp))
+	}
+	return t
+}
+
+// Len returns the number of objects the table routes.
+func (t *Table) Len() int { return len(t.owner) }
+
+// Owner returns the LP currently recorded as hosting obj. The answer may be
+// momentarily stale while a migration is in flight; callers must tolerate
+// (forward) events that arrive at a former owner.
+func (t *Table) Owner(obj int) int { return int(t.owner[obj].Load()) }
+
+// Move records that obj is now hosted by lp and bumps the routing epoch,
+// returning the new epoch. Called by the destination LP after it has
+// installed the migrated object, so the entry never points at an LP that is
+// not yet ready to execute it.
+func (t *Table) Move(obj, lp int) uint64 {
+	t.owner[obj].Store(int32(lp))
+	return t.epoch.Add(1)
+}
+
+// Epoch returns the current routing epoch: the number of placement changes
+// applied so far. Zero means the table still equals the static partition.
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
+
+// Assignment returns a snapshot of the current object→LP assignment. Entries
+// are loaded one at a time, so a snapshot taken during a migration may mix
+// before and after — callers (the load balancer, end-of-run reporting) only
+// need an approximately current view.
+func (t *Table) Assignment() []int {
+	out := make([]int, len(t.owner))
+	for i := range t.owner {
+		out[i] = int(t.owner[i].Load())
+	}
+	return out
+}

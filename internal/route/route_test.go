@@ -1,0 +1,97 @@
+package route
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewMirrorsAssignment(t *testing.T) {
+	assign := []int{0, 1, 2, 1, 0}
+	tb := New(assign)
+	if tb.Len() != len(assign) {
+		t.Fatalf("Len = %d, want %d", tb.Len(), len(assign))
+	}
+	for i, lp := range assign {
+		if got := tb.Owner(i); got != lp {
+			t.Errorf("Owner(%d) = %d, want %d", i, got, lp)
+		}
+	}
+	if tb.Epoch() != 0 {
+		t.Errorf("fresh table epoch = %d, want 0", tb.Epoch())
+	}
+}
+
+func TestMoveBumpsEpoch(t *testing.T) {
+	tb := New([]int{0, 0, 1})
+	if e := tb.Move(1, 1); e != 1 {
+		t.Errorf("first Move returned epoch %d, want 1", e)
+	}
+	if got := tb.Owner(1); got != 1 {
+		t.Errorf("Owner(1) = %d after Move, want 1", got)
+	}
+	if e := tb.Move(1, 0); e != 2 {
+		t.Errorf("second Move returned epoch %d, want 2", e)
+	}
+	if got := tb.Epoch(); got != 2 {
+		t.Errorf("Epoch = %d, want 2", got)
+	}
+}
+
+func TestAssignmentSnapshot(t *testing.T) {
+	tb := New([]int{0, 1, 2})
+	tb.Move(0, 2)
+	got := tb.Assignment()
+	want := []int{2, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Assignment = %v, want %v", got, want)
+		}
+	}
+	// The snapshot must be detached from the table.
+	got[1] = 99
+	if tb.Owner(1) != 1 {
+		t.Error("mutating the snapshot changed the table")
+	}
+}
+
+// TestConcurrentReadersAndMover exercises the wait-free read path against a
+// concurrent writer; run with -race this pins the synchronization contract
+// every event send relies on.
+func TestConcurrentReadersAndMover(t *testing.T) {
+	const objects, lps, moves = 64, 4, 1000
+	assign := make([]int, objects)
+	for i := range assign {
+		assign[i] = i % lps
+	}
+	tb := New(assign)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < objects; i++ {
+					if lp := tb.Owner(i); lp < 0 || lp >= lps {
+						t.Errorf("Owner(%d) = %d out of range", i, lp)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for m := 0; m < moves; m++ {
+		tb.Move(m%objects, m%lps)
+	}
+	close(stop)
+	wg.Wait()
+	if tb.Epoch() != moves {
+		t.Errorf("epoch = %d after %d moves", tb.Epoch(), moves)
+	}
+}

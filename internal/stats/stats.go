@@ -81,6 +81,18 @@ type Counters struct {
 	CheckpointAdjustments int64
 	// WindowAdjustments counts adaptive aggregation-window changes.
 	WindowAdjustments int64
+
+	// Migrations counts object migrations completed (recorded by the
+	// installing LP); MigratedEvents the unprocessed events that travelled
+	// inside migration capsules.
+	Migrations     int64
+	MigratedEvents int64
+	// ForwardedMsgs counts events re-sent to the current owner after
+	// arriving at an LP the object had already migrated away from.
+	ForwardedMsgs int64
+	// BalanceSteps counts load-balancing controller invocations that issued
+	// at least one migration request.
+	BalanceSteps int64
 }
 
 // Merge adds o into c.
@@ -116,6 +128,10 @@ func (c *Counters) Merge(o *Counters) {
 	c.FossilCollected += o.FossilCollected
 	c.CheckpointAdjustments += o.CheckpointAdjustments
 	c.WindowAdjustments += o.WindowAdjustments
+	c.Migrations += o.Migrations
+	c.MigratedEvents += o.MigratedEvents
+	c.ForwardedMsgs += o.ForwardedMsgs
+	c.BalanceSteps += o.BalanceSteps
 }
 
 // HitRatio returns the overall lazy/aggressive hit ratio, or 0 when no
@@ -173,6 +189,9 @@ func (c *Counters) Report() string {
 		{"cancellation switches", fmt.Sprint(c.CancellationSwitches)},
 		{"checkpoint adjustments", fmt.Sprint(c.CheckpointAdjustments)},
 		{"window adjustments", fmt.Sprint(c.WindowAdjustments)},
+		{"migrations", fmt.Sprintf("%d (%d events carried)", c.Migrations, c.MigratedEvents)},
+		{"forwarded msgs", fmt.Sprint(c.ForwardedMsgs)},
+		{"balance steps", fmt.Sprint(c.BalanceSteps)},
 		{"GVT cycles", fmt.Sprintf("%d (%d rounds, %s)", c.GVTCycles, c.GVTRounds, c.GVTTime)},
 		{"fossils collected", fmt.Sprint(c.FossilCollected)},
 	}

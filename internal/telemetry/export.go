@@ -50,6 +50,13 @@ func jsonlArgs(ev Event) string {
 	case KindWindowAdjust:
 		return fmt.Sprintf(`"dst":%d,"old_us":%s,"new_us":%s`,
 			ev.Object, us(ev.A), us(ev.B))
+	case KindMigration:
+		return fmt.Sprintf(`"object":%d,"from":%d,"pending":%d,"epoch":%d`,
+			ev.Object, ev.A, ev.B, ev.C)
+	case KindBalance:
+		active := ev.B == 1
+		return fmt.Sprintf(`"imbalance":%.3f,"active":%t,"moves":%d`,
+			float64(ev.A)/1000, active, ev.C)
 	default:
 		return fmt.Sprintf(`"a":%d,"b":%d,"c":%d`, ev.A, ev.B, ev.C)
 	}

@@ -34,6 +34,10 @@ const (
 	KindFlush
 	// KindWindowAdjust is a SAAW aggregation-window change.
 	KindWindowAdjust
+	// KindMigration is one object migration, recorded by the installing LP.
+	KindMigration
+	// KindBalance is one load-balancing controller firing.
+	KindBalance
 )
 
 // String names the kind as it appears in exported traces.
@@ -51,6 +55,10 @@ func (k Kind) String() string {
 		return "flush"
 	case KindWindowAdjust:
 		return "window_adjust"
+	case KindMigration:
+		return "migration"
+	case KindBalance:
+		return "balance"
 	default:
 		return "unknown"
 	}
@@ -270,4 +278,27 @@ func (t *LPTrace) WindowAdjust(dst int32, oldW, newW time.Duration) {
 		return
 	}
 	t.record(Event{Kind: KindWindowAdjust, Object: dst, A: int64(oldW), B: int64(newW)})
+}
+
+// Migration records object obj arriving on this LP from LP from, carrying
+// pending unprocessed events, at routing epoch epoch.
+func (t *LPTrace) Migration(obj int32, from int32, pending int64, epoch int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: KindMigration, Object: obj, A: int64(from), B: pending, C: epoch})
+}
+
+// BalanceStep records one load-balancing controller firing: the observed
+// load imbalance in thousandths, whether the dead zone admitted actuation,
+// and how many migration requests were issued.
+func (t *LPTrace) BalanceStep(imbalancePermille int64, active bool, moves int64) {
+	if t == nil {
+		return
+	}
+	act := int64(0)
+	if active {
+		act = 1
+	}
+	t.record(Event{Kind: KindBalance, Object: -1, A: imbalancePermille, B: act, C: moves})
 }
