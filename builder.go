@@ -1,0 +1,158 @@
+package gowarp
+
+import (
+	"time"
+)
+
+// ConfigBuilder assembles a Config facet by facet. Every facet follows the
+// same shape — a Mode selecting the policy, the policy's static parameters,
+// and (for adaptive modes) a controller block — so the builder reads as five
+// parallel WithX calls plus kernel-level knobs:
+//
+//	cfg := gowarp.NewConfig(100_000).
+//		WithCheckpoint(gowarp.DynamicCheckpointing, 4).
+//		WithCancellation(gowarp.DynamicCancellation).
+//		WithAggregation(gowarp.SAAW, 50*time.Microsecond).
+//		WithBalance(gowarp.BalanceDynamic).
+//		WithCodec(gowarp.CodecDynamic, gowarp.LZCompression).
+//		Build()
+//
+// Unset facets keep the DefaultConfig baseline (periodic check-pointing,
+// aggressive cancellation, no aggregation, static placement, codec off).
+// For parameters beyond the common ones, the WithXConfig variants accept the
+// facet's full config struct.
+type ConfigBuilder struct {
+	cfg Config
+}
+
+// NewConfig starts a builder from DefaultConfig(endTime).
+func NewConfig(endTime VTime) *ConfigBuilder {
+	return &ConfigBuilder{cfg: DefaultConfig(endTime)}
+}
+
+// WithCheckpoint selects the check-pointing mode; interval is the fixed χ
+// (PeriodicCheckpointing) or the initial χ (DynamicCheckpointing), 0 keeps
+// the default.
+func (b *ConfigBuilder) WithCheckpoint(mode CheckpointMode, interval int) *ConfigBuilder {
+	b.cfg.Checkpoint = CheckpointConfig{Mode: mode, Interval: interval}
+	return b
+}
+
+// WithCheckpointConfig sets the full check-pointing facet config.
+func (b *ConfigBuilder) WithCheckpointConfig(c CheckpointConfig) *ConfigBuilder {
+	b.cfg.Checkpoint = c
+	return b
+}
+
+// WithCancellation selects the cancellation strategy.
+func (b *ConfigBuilder) WithCancellation(mode CancellationMode) *ConfigBuilder {
+	b.cfg.Cancellation = CancellationConfig{Mode: mode}
+	return b
+}
+
+// WithCancellationConfig sets the full cancellation facet config.
+func (b *ConfigBuilder) WithCancellationConfig(c CancellationConfig) *ConfigBuilder {
+	b.cfg.Cancellation = c
+	return b
+}
+
+// WithAggregation selects the aggregation policy; window is the fixed (FAW)
+// or initial (SAAW) aggregation window, 0 keeps the policy default.
+func (b *ConfigBuilder) WithAggregation(policy AggregationPolicy, window time.Duration) *ConfigBuilder {
+	b.cfg.Aggregation = AggregationConfig{Policy: policy, Window: window}
+	return b
+}
+
+// WithAggregationConfig sets the full aggregation facet config.
+func (b *ConfigBuilder) WithAggregationConfig(c AggregationConfig) *ConfigBuilder {
+	b.cfg.Aggregation = c
+	return b
+}
+
+// WithBalance selects the load-balance mode with default controller tuning.
+func (b *ConfigBuilder) WithBalance(mode BalanceMode) *ConfigBuilder {
+	b.cfg.Balance = BalanceConfig{Mode: mode}
+	return b
+}
+
+// WithBalanceConfig sets the full load-balance facet config.
+func (b *ConfigBuilder) WithBalanceConfig(c BalanceConfig) *ConfigBuilder {
+	b.cfg.Balance = c
+	return b
+}
+
+// WithCodec selects the state-codec mode and compression with default
+// anchor cadence and controller tuning.
+func (b *ConfigBuilder) WithCodec(mode CodecMode, comp CodecCompression) *ConfigBuilder {
+	b.cfg.Codec = CodecConfig{Mode: mode, Compression: comp}
+	return b
+}
+
+// WithCodecConfig sets the full state-codec facet config.
+func (b *ConfigBuilder) WithCodecConfig(c CodecConfig) *ConfigBuilder {
+	b.cfg.Codec = c
+	return b
+}
+
+// WithCostModel sets the simulated communication cost model.
+func (b *ConfigBuilder) WithCostModel(cm CostModel) *ConfigBuilder {
+	b.cfg.Cost = cm
+	return b
+}
+
+// WithGVTPeriod sets the wall-clock interval between GVT computations.
+func (b *ConfigBuilder) WithGVTPeriod(d time.Duration) *ConfigBuilder {
+	b.cfg.GVTPeriod = d
+	return b
+}
+
+// WithOptimismWindow bounds optimism to w past GVT (0 = unbounded).
+func (b *ConfigBuilder) WithOptimismWindow(w VTime) *ConfigBuilder {
+	b.cfg.OptimismWindow = w
+	return b
+}
+
+// WithPendingSet selects the pending-event-set implementation.
+func (b *ConfigBuilder) WithPendingSet(k PendingSetKind) *ConfigBuilder {
+	b.cfg.PendingSet = k
+	return b
+}
+
+// WithEventCost sets the CPU burn charged per event execution.
+func (b *ConfigBuilder) WithEventCost(d time.Duration) *ConfigBuilder {
+	b.cfg.EventCost = d
+	return b
+}
+
+// WithTracer attaches a structured trace recorder.
+func (b *ConfigBuilder) WithTracer(t *Tracer) *ConfigBuilder {
+	b.cfg.Tracer = t
+	return b
+}
+
+// WithMetrics attaches a live metrics registry.
+func (b *ConfigBuilder) WithMetrics(reg *MetricsRegistry) *ConfigBuilder {
+	b.cfg.Metrics = reg
+	return b
+}
+
+// WithAudit attaches a runtime invariant auditor.
+func (b *ConfigBuilder) WithAudit(a *Auditor) *ConfigBuilder {
+	b.cfg.Audit = a
+	return b
+}
+
+// WithTuner attaches an external parameter tuner.
+func (b *ConfigBuilder) WithTuner(t *Tuner) *ConfigBuilder {
+	b.cfg.Tuner = t
+	return b
+}
+
+// WithTimeline records per-LP adaptation samples at every GVT cycle.
+func (b *ConfigBuilder) WithTimeline() *ConfigBuilder {
+	b.cfg.Timeline = true
+	return b
+}
+
+// Build returns the assembled configuration.
+func (b *ConfigBuilder) Build() Config { return b.cfg }

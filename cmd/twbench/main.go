@@ -29,12 +29,14 @@ func benchResult(fig exp.Figure) telemetry.BenchResult {
 	for _, s := range fig.Series {
 		for _, r := range s.Rows {
 			out.Rows = append(out.Rows, telemetry.BenchRow{
-				Series:       s.Name,
-				X:            r.X,
-				Seconds:      r.Seconds,
-				EventsPerSec: r.Rate,
-				Efficiency:   r.Stats.Efficiency(),
-				Rollbacks:    r.Stats.Rollbacks,
+				Series:          s.Name,
+				X:               r.X,
+				Seconds:         r.Seconds,
+				EventsPerSec:    r.Rate,
+				Efficiency:      r.Stats.Efficiency(),
+				Rollbacks:       r.Stats.Rollbacks,
+				CheckpointBytes: r.Stats.CheckpointBytes,
+				CapsuleBytes:    r.Stats.CapsuleBytes,
 			})
 		}
 	}
@@ -43,7 +45,7 @@ func benchResult(fig exp.Figure) telemetry.BenchResult {
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "comma-separated experiments: rates,fig5,fig6,fig7,fig8,fig9,ckpt-sweep,sched,gvt-period,ctl-period,disk-sens,tw-vs-cmb or 'all'")
+		which   = flag.String("exp", "all", "comma-separated experiments: rates,rates_codec,fig5,fig6,fig7,fig8,fig9,ckpt-sweep,sched,gvt-period,ctl-period,disk-sens,tw-vs-cmb or 'all'")
 		repeat  = flag.Int("repeat", 1, "measured runs averaged per data point")
 		quick   = flag.Bool("quick", false, "shrink workloads ~10x (shape checks)")
 		rates   = flag.Bool("rates", false, "also print committed-event rates per point")
@@ -58,20 +60,21 @@ func main() {
 	tb.Quick = *quick
 
 	runners := map[string]func() (exp.Figure, error){
-		"rates":      tb.Rates,
-		"fig5":       tb.Fig5,
-		"fig6":       tb.Fig6,
-		"fig7":       tb.Fig7,
-		"fig8":       tb.Fig8,
-		"fig9":       tb.Fig9,
-		"ckpt-sweep": tb.CheckpointSweep,
-		"sched":      tb.SchedulerAblation,
-		"gvt-period": tb.GVTPeriodAblation,
-		"ctl-period": tb.ControlPeriodAblation,
-		"disk-sens":  tb.DiskSensitivityAblation,
-		"tw-vs-cmb":  tb.ConservativeComparison,
+		"rates":       tb.Rates,
+		"rates_codec": tb.RatesCodec,
+		"fig5":        tb.Fig5,
+		"fig6":        tb.Fig6,
+		"fig7":        tb.Fig7,
+		"fig8":        tb.Fig8,
+		"fig9":        tb.Fig9,
+		"ckpt-sweep":  tb.CheckpointSweep,
+		"sched":       tb.SchedulerAblation,
+		"gvt-period":  tb.GVTPeriodAblation,
+		"ctl-period":  tb.ControlPeriodAblation,
+		"disk-sens":   tb.DiskSensitivityAblation,
+		"tw-vs-cmb":   tb.ConservativeComparison,
 	}
-	order := []string{"rates", "fig5", "fig6", "fig7", "fig8", "fig9",
+	order := []string{"rates", "rates_codec", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"ckpt-sweep", "sched", "gvt-period", "ctl-period", "disk-sens", "tw-vs-cmb"}
 
 	var names []string

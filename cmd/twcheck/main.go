@@ -5,9 +5,10 @@
 // configuration matrix, plus a conservative leg where the model guarantees
 // lookahead, plus migration legs (phold-mig, smmp-mig) that re-run the
 // matrix on a deliberately skewed partition with the dynamic load balancer
-// migrating objects mid-run. Any divergence in committed events or final
-// states, or any runtime invariant violation, fails the sweep with a
-// nonzero exit.
+// migrating objects mid-run, plus codec legs (phold-codec, smmp-codec,
+// smmp-codec-mig) that re-run it with delta checkpointing and LZ capsule
+// compression on. Any divergence in committed events or final states, or
+// any runtime invariant violation, fails the sweep with a nonzero exit.
 //
 // Examples:
 //
@@ -27,6 +28,7 @@ import (
 	"gowarp/internal/apps/raid"
 	"gowarp/internal/apps/smmp"
 	"gowarp/internal/audit/oracle"
+	"gowarp/internal/codec"
 	"gowarp/internal/core"
 	"gowarp/internal/model"
 	"gowarp/internal/vtime"
@@ -46,6 +48,9 @@ type check struct {
 	// balance, when Enabled, runs every cell with the dynamic load
 	// balancer on — the migration legs of the sweep.
 	balance core.BalanceConfig
+	// codec, when not Off, runs every cell with the state-codec facet on —
+	// the delta-checkpoint/compression legs of the sweep.
+	codec codec.Config
 }
 
 // skew rewrites part so LP 0 hosts almost everything (each other LP keeps
@@ -133,12 +138,41 @@ var checks = []check{
 		},
 		end: 1 << 40, window: 2000, balance: aggressiveBalance,
 	},
+	{
+		name: "phold-codec",
+		build: func(seed uint64) *model.Model {
+			return phold.New(phold.Config{
+				Objects: 16, TokensPerObject: 3, MeanDelay: 10,
+				Locality: 0.2, LPs: 4, Seed: seed, StatePadding: 256,
+			})
+		},
+		end: 1200, window: 100,
+		codec: codec.Config{Mode: codec.Dynamic, Compression: codec.LZ},
+	},
+	{
+		name: "smmp-codec",
+		build: func(seed uint64) *model.Model {
+			return smmp.New(smmp.Config{Requests: 60, Seed: seed, StatePadding: 256})
+		},
+		end: 1 << 40, window: 2000,
+		codec: codec.Config{Mode: codec.Delta, Compression: codec.LZ},
+	},
+	{
+		name: "smmp-codec-mig",
+		build: func(seed uint64) *model.Model {
+			m := smmp.New(smmp.Config{Requests: 60, Seed: seed, StatePadding: 256})
+			skew(m.Partition, 4)
+			return m
+		},
+		end: 1 << 40, window: 2000, balance: aggressiveBalance,
+		codec: codec.Config{Mode: codec.Delta, Compression: codec.LZ},
+	},
 }
 
 func main() {
 	var (
 		full      = flag.Bool("full", false, "run the full 81-cell matrix (default: the 9-cell diagonal covering every policy value)")
-		modelName = flag.String("model", "", "restrict the sweep to one model: phold, qnet, smmp, raid, phold-mig, smmp-mig")
+		modelName = flag.String("model", "", "restrict the sweep to one model: phold, qnet, smmp, raid, phold-mig, smmp-mig, phold-codec, smmp-codec, smmp-codec-mig")
 		seed      = flag.Uint64("seed", 1, "model random seed")
 		gvtPeriod = flag.Duration("gvt-period", 200*time.Microsecond, "GVT period for the parallel legs")
 		verbose   = flag.Bool("v", false, "print the full per-cell table for every model")
@@ -164,6 +198,7 @@ func main() {
 			OptimismWindow: c.window,
 			Lookahead:      c.lookahead,
 			Balance:        c.balance,
+			Codec:          c.codec,
 			Cells:          cells,
 		})
 		if err != nil {

@@ -8,7 +8,8 @@
 //	twsim -model phold -end 100000 -lps 4 -verify
 //	twsim -model raid -ckpt dynamic -cancel dynamic -trace out.json -trace-format chrome
 //	twsim -model phold -metrics-addr 127.0.0.1:9090 -json-out run.json
-//	twsim -model phold -partition greedy -balance -audit -verify
+//	twsim -model phold -partition greedy -balance=dynamic,period=4 -audit -verify
+//	twsim -model smmp -state-padding 1024 -codec delta,lz
 package main
 
 import (
@@ -46,11 +47,12 @@ func main() {
 
 		partitionMode = flag.String("partition", "", "override the model's object placement: block, rr, greedy (greedy probes a sequential prefix and partitions the measured communication graph)")
 
-		balance       = flag.Bool("balance", false, "enable on-line dynamic load balancing (object migration between LPs)")
-		balancePeriod = flag.Int("balance-period", 0, "balancer actuation period in GVT cycles (0 = default)")
-		balanceHigh   = flag.Float64("balance-high", 0, "imbalance (max/mean load) above which balancing engages (0 = default)")
-		balanceLow    = flag.Float64("balance-low", 0, "imbalance below which balancing disengages (0 = default)")
-		balanceMoves  = flag.Int("balance-moves", 0, "max object migrations per balancer firing (0 = default)")
+		balancePeriod = flag.Int("balance-period", 0, "deprecated: use -balance=dynamic,period=N")
+		balanceHigh   = flag.Float64("balance-high", 0, "deprecated: use -balance=dynamic,high=F")
+		balanceLow    = flag.Float64("balance-low", 0, "deprecated: use -balance=dynamic,low=F")
+		balanceMoves  = flag.Int("balance-moves", 0, "deprecated: use -balance=dynamic,moves=N")
+
+		codecSpec = flag.String("codec", "off", "state-codec facet spec: off, lz, full[,lz], delta[,lz][,full-every=N], dynamic[,lz][,full-every=N][,period=N][,low=F][,high=F]")
 
 		perMsg    = flag.Duration("msg-cost", 0, "simulated per-physical-message CPU overhead")
 		eventCost = flag.Duration("event-cost", 0, "simulated CPU burn per event")
@@ -70,6 +72,8 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics on this address while the run executes (/metrics Prometheus text, /debug/vars expvar)")
 		jsonOut     = flag.String("json-out", "", "write a machine-readable run summary JSON to this file")
 	)
+	balanceSpec := &specValue{spec: "off"}
+	flag.Var(balanceSpec, "balance", "load-balance facet spec: off, dynamic, or dynamic,period=N,high=F,low=F,moves=N,min-sample=N (bare -balance = dynamic)")
 	flag.Parse()
 
 	endTime := gowarp.VTime(*end)
@@ -175,14 +179,27 @@ func main() {
 		fatal(fmt.Errorf("unknown aggregation mode %q", *aggMode))
 	}
 
-	if *balance {
-		cfg.Balance = gowarp.BalanceConfig{
-			Enabled:   true,
-			Period:    *balancePeriod,
-			HighWater: *balanceHigh,
-			LowWater:  *balanceLow,
-			MaxMoves:  *balanceMoves,
-		}
+	balCfg, err := gowarp.ParseBalanceSpec(balanceSpec.spec)
+	if err != nil {
+		fatal(err)
+	}
+	// The deprecated -balance-* aliases override the spec's fields when set.
+	if *balancePeriod > 0 {
+		balCfg.Period = *balancePeriod
+	}
+	if *balanceHigh > 0 {
+		balCfg.HighWater = *balanceHigh
+	}
+	if *balanceLow > 0 {
+		balCfg.LowWater = *balanceLow
+	}
+	if *balanceMoves > 0 {
+		balCfg.MaxMoves = *balanceMoves
+	}
+	cfg.Balance = balCfg
+
+	if cfg.Codec, err = gowarp.ParseCodecSpec(*codecSpec); err != nil {
+		fatal(err)
 	}
 
 	switch *pending {
@@ -250,6 +267,7 @@ func main() {
 			Stats:              res.Stats,
 			PerObject:          res.PerObject,
 			TraceDropped:       tracer.Dropped(),
+			FinalPartition:     res.FinalPartition,
 		}
 		if err := gowarp.WriteJSON(*jsonOut, sum); err != nil {
 			fatal(err)
@@ -340,6 +358,29 @@ func writeTrace(tracer *gowarp.Tracer, path, format string) error {
 	}
 	return err
 }
+
+// specValue is a facet-spec flag that also accepts bare boolean use
+// (-balance with no value), for compatibility with the old -balance bool.
+type specValue struct {
+	spec string
+}
+
+func (v *specValue) String() string { return v.spec }
+
+func (v *specValue) Set(s string) error {
+	// flag passes "true"/"false" for bare boolean use (-balance, -balance=false).
+	switch s {
+	case "true":
+		s = "dynamic"
+	case "false":
+		s = "off"
+	}
+	v.spec = s
+	return nil
+}
+
+// IsBoolFlag lets bare -balance mean -balance=dynamic.
+func (v *specValue) IsBoolFlag() bool { return true }
 
 func okStr(ok bool) string {
 	if ok {

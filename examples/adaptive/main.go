@@ -29,12 +29,11 @@ func model() *gowarp.Model {
 	})
 }
 
-func base() gowarp.Config {
-	cfg := gowarp.DefaultConfig(60_000)
-	cfg.Cost = gowarp.CostModel{PerMessage: 60 * time.Microsecond, PerByte: 10 * time.Nanosecond}
-	cfg.EventCost = 5 * time.Microsecond
-	cfg.OptimismWindow = 1000
-	return cfg
+func base() *gowarp.ConfigBuilder {
+	return gowarp.NewConfig(60_000).
+		WithCostModel(gowarp.CostModel{PerMessage: 60 * time.Microsecond, PerByte: 10 * time.Nanosecond}).
+		WithEventCost(5 * time.Microsecond).
+		WithOptimismWindow(1000)
 }
 
 func run(label string, cfg gowarp.Config) time.Duration {
@@ -51,18 +50,15 @@ func main() {
 	fmt.Println("facet 1: checkpoint interval (static sweep vs Section 4 controller)")
 	best := time.Duration(1 << 62)
 	for _, chi := range []int{1, 4, 16, 64} {
-		cfg := base()
-		cfg.Checkpoint = gowarp.CheckpointConfig{Mode: gowarp.PeriodicCheckpointing, Interval: chi}
+		cfg := base().WithCheckpoint(gowarp.PeriodicCheckpointing, chi).Build()
 		if d := run(fmt.Sprintf("periodic chi=%d", chi), cfg); d < best {
 			best = d
 		}
 	}
-	cfg := base()
-	cfg.Checkpoint = gowarp.CheckpointConfig{
+	dyn := run("dynamic (controller)", base().WithCheckpointConfig(gowarp.CheckpointConfig{
 		Mode: gowarp.DynamicCheckpointing, Interval: 1,
 		MinInterval: 1, MaxInterval: 64, Period: 256,
-	}
-	dyn := run("dynamic (controller)", cfg)
+	}).Build())
 	fmt.Printf("  -> dynamic within %.0f%% of the best static setting\n\n",
 		100*(dyn.Seconds()/best.Seconds()-1))
 
@@ -75,35 +71,30 @@ func main() {
 		{"lazy", gowarp.CancellationConfig{Mode: gowarp.LazyCancellation}},
 		{"dynamic (hit ratio)", gowarp.CancellationConfig{Mode: gowarp.DynamicCancellation}},
 	} {
-		cfg := base()
-		cfg.Cancellation = mode.cc
-		run(mode.label, cfg)
+		run(mode.label, base().WithCancellationConfig(mode.cc).Build())
 	}
 	fmt.Println()
 
 	fmt.Println("facet 3: message aggregation (static windows vs SAAW)")
 	for _, w := range []time.Duration{10 * time.Microsecond, 300 * time.Microsecond, 10 * time.Millisecond} {
-		cfg := base()
-		cfg.Aggregation = gowarp.AggregationConfig{Policy: gowarp.FAW, Window: w}
-		run(fmt.Sprintf("FAW window=%s", w), cfg)
+		run(fmt.Sprintf("FAW window=%s", w), base().WithAggregation(gowarp.FAW, w).Build())
 	}
-	cfg = base()
-	cfg.Aggregation = gowarp.AggregationConfig{Policy: gowarp.SAAW, Window: 10 * time.Millisecond}
-	run("SAAW (from a bad start)", cfg)
+	run("SAAW (from a bad start)", base().WithAggregation(gowarp.SAAW, 10*time.Millisecond).Build())
 
-	// Watch all three controllers converge: record the adaptation timeline
-	// of a fully adaptive run and print LP 0's trajectory.
+	// Watch the controllers converge: record the adaptation timeline of a
+	// fully adaptive run and print LP 0's trajectory.
 	fmt.Println()
 	fmt.Println("adaptation timeline (LP 0): checkpoint interval opens, objects settle,")
 	fmt.Println("and the aggregation window converges from its bad 10ms start:")
-	cfg = base()
-	cfg.Timeline = true
-	cfg.Checkpoint = gowarp.CheckpointConfig{
-		Mode: gowarp.DynamicCheckpointing, Interval: 1,
-		MinInterval: 1, MaxInterval: 64, Period: 256,
-	}
-	cfg.Cancellation = gowarp.CancellationConfig{Mode: gowarp.DynamicCancellation}
-	cfg.Aggregation = gowarp.AggregationConfig{Policy: gowarp.SAAW, Window: 10 * time.Millisecond}
+	cfg := base().
+		WithTimeline().
+		WithCheckpointConfig(gowarp.CheckpointConfig{
+			Mode: gowarp.DynamicCheckpointing, Interval: 1,
+			MinInterval: 1, MaxInterval: 64, Period: 256,
+		}).
+		WithCancellation(gowarp.DynamicCancellation).
+		WithAggregation(gowarp.SAAW, 10*time.Millisecond).
+		Build()
 	res, err := gowarp.Run(model(), cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -38,11 +38,12 @@ func main() {
 
 		cost := gowarp.CostModel{PerMessage: 40 * time.Microsecond}
 
-		twCfg := gowarp.DefaultConfig(end)
-		twCfg.Cost = cost
-		twCfg.EventCost = 3 * time.Microsecond
-		twCfg.OptimismWindow = 1000
-		twCfg.Checkpoint.Interval = 4
+		twCfg := gowarp.NewConfig(end).
+			WithCostModel(cost).
+			WithEventCost(3*time.Microsecond).
+			WithOptimismWindow(1000).
+			WithCheckpoint(gowarp.PeriodicCheckpointing, 4).
+			Build()
 		tw, err := gowarp.Run(m, twCfg)
 		if err != nil {
 			log.Fatal(err)

@@ -91,16 +91,17 @@ func main() {
 		m.Partition = append(m.Partition, i*2/warehouses)
 	}
 
-	// Configure the simulator: the paper's all-static baseline, plus the
-	// on-line controllers for all three facets.
-	cfg := gowarp.DefaultConfig(endTime)
-	cfg.Checkpoint = gowarp.CheckpointConfig{Mode: gowarp.DynamicCheckpointing, Interval: 1}
-	cfg.Cancellation = gowarp.CancellationConfig{Mode: gowarp.DynamicCancellation}
-	cfg.Aggregation = gowarp.AggregationConfig{Policy: gowarp.SAAW}
-	cfg.OptimismWindow = 2000
-	// Charge a synthetic CPU cost per event, standing in for real model
-	// computation (see DESIGN.md on the simulated testbed).
-	cfg.EventCost = 10 * time.Microsecond
+	// Configure the simulator facet by facet: the paper's all-static
+	// baseline with the on-line controllers turned on. The synthetic
+	// per-event CPU cost stands in for real model computation (see DESIGN.md
+	// on the simulated testbed).
+	cfg := gowarp.NewConfig(endTime).
+		WithCheckpoint(gowarp.DynamicCheckpointing, 1).
+		WithCancellation(gowarp.DynamicCancellation).
+		WithAggregation(gowarp.SAAW, 0).
+		WithOptimismWindow(2000).
+		WithEventCost(10 * time.Microsecond).
+		Build()
 
 	res, err := gowarp.Run(m, cfg)
 	if err != nil {

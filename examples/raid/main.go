@@ -26,11 +26,12 @@ func run(label string, cc gowarp.CancellationConfig) *gowarp.Result {
 		RequestsPerSource: 400,
 		StatePadding:      16 << 10,
 	})
-	cfg := gowarp.DefaultConfig(gowarp.VTime(1) << 40)
-	cfg.Cost = gowarp.CostModel{PerMessage: 80 * time.Microsecond, PerByte: 10 * time.Nanosecond}
-	cfg.EventCost = 5 * time.Microsecond
-	cfg.OptimismWindow = 4000
-	cfg.Cancellation = cc
+	cfg := gowarp.NewConfig(gowarp.VTime(1) << 40).
+		WithCostModel(gowarp.CostModel{PerMessage: 80 * time.Microsecond, PerByte: 10 * time.Nanosecond}).
+		WithEventCost(5 * time.Microsecond).
+		WithOptimismWindow(4000).
+		WithCancellationConfig(cc).
+		Build()
 
 	res, err := gowarp.Run(m, cfg)
 	if err != nil {

@@ -19,20 +19,20 @@ import (
 	"gowarp/internal/stats"
 )
 
-func run(label string, mutate func(*gowarp.Config)) *gowarp.Result {
+func run(label string, configure func(*gowarp.ConfigBuilder)) *gowarp.Result {
 	// The paper's configuration: 16 processors on 4 LPs, 10ns cache,
 	// 100ns memory, 90% hit ratio; 500 test vectors per processor here.
 	m := gowarp.NewSMMP(gowarp.SMMPConfig{
 		Requests:     500,
 		StatePadding: 16 << 10, // make checkpoints cost something real
 	})
-	cfg := gowarp.DefaultConfig(gowarp.VTime(1) << 40)
-	cfg.Cost = gowarp.CostModel{PerMessage: 80 * time.Microsecond, PerByte: 10 * time.Nanosecond}
-	cfg.EventCost = 5 * time.Microsecond
-	cfg.OptimismWindow = 2000
-	mutate(&cfg)
+	b := gowarp.NewConfig(gowarp.VTime(1) << 40).
+		WithCostModel(gowarp.CostModel{PerMessage: 80 * time.Microsecond, PerByte: 10 * time.Nanosecond}).
+		WithEventCost(5 * time.Microsecond).
+		WithOptimismWindow(2000)
+	configure(b)
 
-	res, err := gowarp.Run(m, cfg)
+	res, err := gowarp.Run(m, b.Build())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,21 +45,29 @@ func run(label string, mutate func(*gowarp.Config)) *gowarp.Result {
 func main() {
 	fmt.Println("SMMP: 16 processors, 4 LPs, cache 10ns / memory 100ns, 90% hits")
 
-	base := run("periodic + aggressive", func(c *gowarp.Config) {})
-	run("periodic + lazy", func(c *gowarp.Config) {
-		c.Cancellation = gowarp.CancellationConfig{Mode: gowarp.LazyCancellation}
+	base := run("periodic + aggressive", func(b *gowarp.ConfigBuilder) {})
+	run("periodic + lazy", func(b *gowarp.ConfigBuilder) {
+		b.WithCancellation(gowarp.LazyCancellation)
 	})
-	adaptive := run("fully adaptive", func(c *gowarp.Config) {
-		c.Cancellation = gowarp.CancellationConfig{Mode: gowarp.DynamicCancellation}
-		c.Checkpoint = gowarp.CheckpointConfig{
-			Mode: gowarp.DynamicCheckpointing, Interval: 1,
-			MinInterval: 1, MaxInterval: 64, Period: 256,
-		}
-		c.Aggregation = gowarp.AggregationConfig{Policy: gowarp.SAAW}
+	fullyAdaptive := func(b *gowarp.ConfigBuilder) {
+		b.WithCancellation(gowarp.DynamicCancellation).
+			WithCheckpointConfig(gowarp.CheckpointConfig{
+				Mode: gowarp.DynamicCheckpointing, Interval: 1,
+				MinInterval: 1, MaxInterval: 64, Period: 256,
+			}).
+			WithAggregation(gowarp.SAAW, 0)
+	}
+	adaptive := run("fully adaptive", fullyAdaptive)
+	codec := run("adaptive + codec", func(b *gowarp.ConfigBuilder) {
+		fullyAdaptive(b)
+		b.WithCodec(gowarp.CodecDelta, gowarp.LZCompression)
 	})
 
 	speedup := base.Elapsed.Seconds() / adaptive.Elapsed.Seconds()
-	fmt.Printf("\nadaptive vs all-static baseline: %.2fx\n\n", speedup)
+	fmt.Printf("\nadaptive vs all-static baseline: %.2fx\n", speedup)
+	fmt.Printf("codec facet: %d checkpoint bytes stored vs %d raw (%.1fx smaller)\n\n",
+		codec.Stats.CheckpointBytes, codec.Stats.CheckpointRawBytes,
+		float64(codec.Stats.CheckpointRawBytes)/float64(codec.Stats.CheckpointBytes))
 
 	// What did the controllers decide? The paper observes that every SMMP
 	// object favors lazy cancellation; the checkpoint controller should

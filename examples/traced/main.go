@@ -32,24 +32,26 @@ func main() {
 		StatePadding:    16 << 10,
 	})
 
-	cfg := gowarp.DefaultConfig(60_000)
-	cfg.Cost = gowarp.CostModel{PerMessage: 60 * time.Microsecond, PerByte: 10 * time.Nanosecond}
-	cfg.EventCost = 5 * time.Microsecond
-	cfg.OptimismWindow = 1000
-	cfg.Timeline = true
-	cfg.Checkpoint = gowarp.CheckpointConfig{
-		Mode: gowarp.DynamicCheckpointing, Interval: 1,
-		MinInterval: 1, MaxInterval: 64, Period: 256,
-	}
-	cfg.Cancellation = gowarp.CancellationConfig{Mode: gowarp.DynamicCancellation}
-	cfg.Aggregation = gowarp.AggregationConfig{Policy: gowarp.SAAW, Window: 10 * time.Millisecond}
-
 	// Telemetry: a per-LP trace ring plus a live metrics registry served over
 	// HTTP for the duration of the run.
 	tracer := gowarp.NewTracer(0)
-	cfg.Tracer = tracer
 	reg := gowarp.NewMetricsRegistry()
-	cfg.Metrics = reg
+
+	cfg := gowarp.NewConfig(60_000).
+		WithCostModel(gowarp.CostModel{PerMessage: 60 * time.Microsecond, PerByte: 10 * time.Nanosecond}).
+		WithEventCost(5*time.Microsecond).
+		WithOptimismWindow(1000).
+		WithTimeline().
+		WithCheckpointConfig(gowarp.CheckpointConfig{
+			Mode: gowarp.DynamicCheckpointing, Interval: 1,
+			MinInterval: 1, MaxInterval: 64, Period: 256,
+		}).
+		WithCancellation(gowarp.DynamicCancellation).
+		WithAggregation(gowarp.SAAW, 10*time.Millisecond).
+		WithCodec(gowarp.CodecDynamic, gowarp.LZCompression).
+		WithTracer(tracer).
+		WithMetrics(reg).
+		Build()
 	srv, err := gowarp.ServeMetrics("127.0.0.1:0", reg)
 	if err != nil {
 		log.Fatal(err)
@@ -87,7 +89,7 @@ func main() {
 		byKind[ev.Kind.String()]++
 	}
 	fmt.Printf("trace: %d events (%d overwritten in the rings)\n", len(events), tracer.Dropped())
-	for _, k := range []string{"rollback", "checkpoint_adjust", "strategy_switch", "gvt", "flush", "window_adjust"} {
+	for _, k := range []string{"rollback", "checkpoint_adjust", "strategy_switch", "gvt", "flush", "window_adjust", "codec_switch"} {
 		if n := byKind[k]; n > 0 {
 			fmt.Printf("  %-18s %6d\n", k, n)
 		}

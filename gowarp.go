@@ -9,16 +9,27 @@
 // needed; all Time Warp machinery — state saving, rollback, cancellation,
 // GVT, fossil collection — is the kernel's business, invisible to models.
 //
-// Three facets of the kernel can be configured statically or placed under
-// on-line feedback control, as in the paper:
+// Five facets of the kernel can be configured statically or placed under
+// on-line feedback control. Every facet has the same shape — a Mode, its
+// static parameters, and (where adaptive) a controller block with the
+// paper's <O,I,S,T,P> structure: an Observable sampled each Period, an
+// Index computed from it, and a dead-zoned Threshold that gates actuation:
 //
-//   - Check-pointing: a fixed interval, or the Section 4 controller that
-//     adapts the interval to minimize state-saving + coast-forward cost.
-//   - Cancellation: aggressive, lazy, or the Section 5 dynamic selector
-//     driven by the Hit Ratio through a dead-zone threshold (with the PS and
-//     PA freezing variants).
-//   - Message aggregation: none, a fixed window (FAW), or the Section 6
-//     adaptive window (SAAW).
+//   - Check-pointing (Config.Checkpoint): a fixed interval, or the Section 4
+//     controller that adapts the interval to minimize state-saving +
+//     coast-forward cost.
+//   - Cancellation (Config.Cancellation): aggressive, lazy, or the Section 5
+//     dynamic selector driven by the Hit Ratio through a dead-zone threshold
+//     (with the PS and PA freezing variants).
+//   - Message aggregation (Config.Aggregation): none, a fixed window (FAW),
+//     or the Section 6 adaptive window (SAAW).
+//   - Load balance (Config.Balance): static placement, or on-line object
+//     migration driven by per-LP advance rates through a dead zone.
+//   - State codec (Config.Codec): how checkpoints and migration capsules are
+//     encoded — full copies, incremental deltas against the previous
+//     checkpoint (with full anchors every FullEvery saves), or an on-line
+//     controller that switches each object full<->delta by the observed
+//     delta/full stored-bytes ratio; optionally LZ-compressed on the wire.
 //
 // A minimal model and run:
 //
@@ -26,6 +37,13 @@
 //	cfg := gowarp.DefaultConfig(100_000)
 //	cfg.Cancellation = gowarp.CancellationConfig{Mode: gowarp.DynamicCancellation}
 //	res, err := gowarp.Run(m, cfg)
+//
+// Or fluently, facet by facet, with NewConfig:
+//
+//	cfg := gowarp.NewConfig(100_000).
+//		WithCancellation(gowarp.DynamicCancellation).
+//		WithCodec(gowarp.CodecDynamic, gowarp.LZCompression).
+//		Build()
 //
 // The communication substrate simulates a network of workstations: every
 // physical message costs its sender CPU time, so aggregation and
@@ -41,6 +59,7 @@ import (
 	"gowarp/internal/apps/smmp"
 	"gowarp/internal/audit"
 	"gowarp/internal/cancel"
+	"gowarp/internal/codec"
 	"gowarp/internal/comm"
 	"gowarp/internal/conservative"
 	"gowarp/internal/core"
@@ -112,6 +131,66 @@ type (
 	// migration between logical processes as a fourth controlled facet
 	// (set Config.Balance; off by default).
 	BalanceConfig = core.BalanceConfig
+	// CodecConfig configures the state-codec facet: how checkpoints and
+	// migration capsules are encoded and compressed (set Config.Codec; off
+	// by default).
+	CodecConfig = codec.Config
+	// CodecControllerConfig is the codec facet's on-line controller block
+	// (CodecConfig.Controller), active under CodecDynamic.
+	CodecControllerConfig = codec.ControllerConfig
+)
+
+// DeltaState is the optional model-state interface that enables the codec
+// facet for an object: a State that can also marshal itself to a
+// deterministic, fixed-layout byte encoding and unmarshal a fresh copy.
+// States that do not implement it fall back to cloned full checkpoints.
+type DeltaState = codec.DeltaState
+
+// Load-balance modes (BalanceConfig.Mode).
+const (
+	// BalanceStatic keeps the initial object placement (the default).
+	BalanceStatic = core.BalanceStatic
+	// BalanceDynamic migrates objects on line by observed advance rates.
+	BalanceDynamic = core.BalanceDynamic
+)
+
+// Codec modes (CodecConfig.Mode).
+const (
+	// CodecOff disables the codec facet: cloned full checkpoints (default).
+	CodecOff = codec.Off
+	// CodecFull stores every checkpoint as a full marshalled encoding.
+	CodecFull = codec.Full
+	// CodecDelta stores checkpoints as deltas against the previous one,
+	// with full anchors every CodecConfig.FullEvery saves.
+	CodecDelta = codec.Delta
+	// CodecDynamic lets the on-line controller switch each object between
+	// full and delta encoding by the observed stored-bytes ratio.
+	CodecDynamic = codec.Dynamic
+)
+
+// Codec compression choices (CodecConfig.Compression).
+const (
+	// NoCompression stores and ships encodings as-is.
+	NoCompression = codec.NoCompression
+	// LZCompression applies the self-contained LZ77 coder to checkpoints,
+	// migration capsules and aggregated wire payloads.
+	LZCompression = codec.LZ
+)
+
+// Per-facet mode types (the first field of every facet config).
+type (
+	// CheckpointMode selects the state-saving policy.
+	CheckpointMode = statesave.Mode
+	// CancellationMode selects the cancellation strategy.
+	CancellationMode = cancel.Mode
+	// AggregationPolicy selects the message-aggregation policy.
+	AggregationPolicy = comm.Policy
+	// BalanceMode selects static placement or dynamic load balancing.
+	BalanceMode = core.BalanceMode
+	// CodecMode selects the checkpoint/capsule encoding policy.
+	CodecMode = codec.Mode
+	// CodecCompression selects the codec's compression algorithm.
+	CodecCompression = codec.Compression
 )
 
 // Checkpointing modes.
@@ -141,6 +220,9 @@ const (
 	// SAAW adapts the window with the age-modified reception rate.
 	SAAW = comm.SAAW
 )
+
+// PendingSetKind selects the pending-event-set implementation.
+type PendingSetKind = pq.Kind
 
 // Pending-set implementations (a kernel design choice; see the ablation
 // benchmarks).

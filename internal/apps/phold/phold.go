@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"gowarp/internal/codec"
 	"gowarp/internal/event"
 	"gowarp/internal/model"
 	"gowarp/internal/vtime"
@@ -84,6 +85,28 @@ func (s *state) Clone() model.State {
 
 // StateBytes reports the approximate saved size, for statistics.
 func (s *state) StateBytes() int { return 32 + len(s.Pad) }
+
+// MarshalState implements codec.DeltaState: a deterministic fixed-layout
+// encoding so successive checkpoints stay positionally aligned for the
+// sparse delta.
+func (s *state) MarshalState(buf []byte) []byte {
+	buf = codec.AppendUint64(buf, s.Rng.State())
+	buf = codec.AppendInt64(buf, s.Received)
+	buf = codec.AppendInt64(buf, s.Hops)
+	return codec.AppendBytes(buf, s.Pad)
+}
+
+// UnmarshalState implements codec.DeltaState.
+func (s *state) UnmarshalState(data []byte) (model.State, error) {
+	r := codec.NewReader(data)
+	out := &state{
+		Rng:      model.RandFromState(r.Uint64()),
+		Received: r.Int64(),
+		Hops:     r.Int64(),
+		Pad:      r.Bytes(),
+	}
+	return out, r.Err()
+}
 
 type object struct {
 	name string

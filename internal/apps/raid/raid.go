@@ -17,7 +17,9 @@ package raid
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
+	"gowarp/internal/codec"
 	"gowarp/internal/event"
 	"gowarp/internal/model"
 	"gowarp/internal/vtime"
@@ -178,6 +180,64 @@ func (s *sourceState) StateBytes() int {
 	return 64 + 16*len(s.PendingSubs) + 24*len(s.IssueTimes) + len(s.Pad)
 }
 
+// MarshalState implements codec.DeltaState. Map entries are emitted in
+// sorted key order so the encoding is deterministic — a requirement for the
+// audit oracle's byte-level checks and for delta sparsity.
+func (s *sourceState) MarshalState(buf []byte) []byte {
+	buf = codec.AppendUint64(buf, s.Rng.State())
+	buf = codec.AppendInt64(buf, s.Issued)
+	buf = codec.AppendInt64(buf, s.Completed)
+	buf = codec.AppendInt64(buf, s.LatencySum)
+	buf = codec.AppendInt64(buf, s.Phantoms)
+	keys := make([]uint32, 0, len(s.PendingSubs))
+	for k := range s.PendingSubs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf = codec.AppendUint64(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = codec.AppendUint64(buf, uint64(k))
+		buf = codec.AppendInt64(buf, int64(s.PendingSubs[k]))
+	}
+	keys = keys[:0]
+	for k := range s.IssueTimes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf = codec.AppendUint64(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = codec.AppendUint64(buf, uint64(k))
+		buf = codec.AppendInt64(buf, int64(s.IssueTimes[k]))
+	}
+	return codec.AppendBytes(buf, s.Pad)
+}
+
+// UnmarshalState implements codec.DeltaState.
+func (s *sourceState) UnmarshalState(data []byte) (model.State, error) {
+	r := codec.NewReader(data)
+	out := &sourceState{
+		Rng:        model.RandFromState(r.Uint64()),
+		Issued:     r.Int64(),
+		Completed:  r.Int64(),
+		LatencySum: r.Int64(),
+		Phantoms:   r.Int64(),
+	}
+	n := int(r.Uint64())
+	out.PendingSubs = make(map[uint32]int, n)
+	for i := 0; i < n && r.Ok(); i++ {
+		k := uint32(r.Uint64())
+		out.PendingSubs[k] = int(r.Int64())
+	}
+	n = int(r.Uint64())
+	out.IssueTimes = make(map[uint32]vtime.Time, n)
+	for i := 0; i < n && r.Ok(); i++ {
+		k := uint32(r.Uint64())
+		out.IssueTimes[k] = vtime.Time(r.Int64())
+	}
+	out.Pad = r.Bytes()
+	return out, r.Err()
+}
+
 type source struct {
 	name string
 	fork event.ObjectID
@@ -265,6 +325,20 @@ func (s *forkState) Clone() model.State {
 
 func (s *forkState) StateBytes() int { return 24 + len(s.Pad) }
 
+// MarshalState implements codec.DeltaState.
+func (s *forkState) MarshalState(buf []byte) []byte {
+	buf = codec.AppendInt64(buf, int64(s.Next))
+	buf = codec.AppendInt64(buf, s.Routed)
+	return codec.AppendBytes(buf, s.Pad)
+}
+
+// UnmarshalState implements codec.DeltaState.
+func (s *forkState) UnmarshalState(data []byte) (model.State, error) {
+	r := codec.NewReader(data)
+	out := &forkState{Next: int(r.Int64()), Routed: r.Int64(), Pad: r.Bytes()}
+	return out, r.Err()
+}
+
 type fork struct {
 	name  string
 	disks []event.ObjectID
@@ -309,6 +383,26 @@ func (s *diskState) Clone() model.State {
 }
 
 func (s *diskState) StateBytes() int { return 32 + len(s.Pad) }
+
+// MarshalState implements codec.DeltaState.
+func (s *diskState) MarshalState(buf []byte) []byte {
+	buf = codec.AppendInt64(buf, s.Served)
+	buf = codec.AppendUint64(buf, uint64(s.Head))
+	buf = codec.AppendInt64(buf, s.Busy)
+	return codec.AppendBytes(buf, s.Pad)
+}
+
+// UnmarshalState implements codec.DeltaState.
+func (s *diskState) UnmarshalState(data []byte) (model.State, error) {
+	r := codec.NewReader(data)
+	out := &diskState{
+		Served: r.Int64(),
+		Head:   uint32(r.Uint64()),
+		Busy:   r.Int64(),
+		Pad:    r.Bytes(),
+	}
+	return out, r.Err()
+}
 
 type disk struct {
 	name string

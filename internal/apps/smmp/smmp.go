@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"gowarp/internal/codec"
 	"gowarp/internal/event"
 	"gowarp/internal/model"
 	"gowarp/internal/vtime"
@@ -146,6 +147,28 @@ func (s *cpuState) Clone() model.State {
 
 func (s *cpuState) StateBytes() int { return 64 + len(s.Pad) }
 
+// MarshalState implements codec.DeltaState (fixed layout, delta-friendly).
+func (s *cpuState) MarshalState(buf []byte) []byte {
+	buf = codec.AppendUint64(buf, s.Rng.State())
+	buf = codec.AppendInt64(buf, s.Issued)
+	buf = codec.AppendInt64(buf, s.Done)
+	buf = codec.AppendInt64(buf, s.LatencySum)
+	return codec.AppendBytes(buf, s.Pad)
+}
+
+// UnmarshalState implements codec.DeltaState.
+func (s *cpuState) UnmarshalState(data []byte) (model.State, error) {
+	r := codec.NewReader(data)
+	out := &cpuState{
+		Rng:        model.RandFromState(r.Uint64()),
+		Issued:     r.Int64(),
+		Done:       r.Int64(),
+		LatencySum: r.Int64(),
+		Pad:        r.Bytes(),
+	}
+	return out, r.Err()
+}
+
 type cpu struct {
 	name  string
 	cache event.ObjectID
@@ -212,6 +235,28 @@ func (s *cacheState) Clone() model.State {
 
 func (s *cacheState) StateBytes() int { return 48 + len(s.Pad) }
 
+// MarshalState implements codec.DeltaState.
+func (s *cacheState) MarshalState(buf []byte) []byte {
+	buf = codec.AppendUint64(buf, s.Rng.State())
+	buf = codec.AppendInt64(buf, s.Hits)
+	buf = codec.AppendInt64(buf, s.Misses)
+	buf = codec.AppendInt64(buf, s.Fills)
+	return codec.AppendBytes(buf, s.Pad)
+}
+
+// UnmarshalState implements codec.DeltaState.
+func (s *cacheState) UnmarshalState(data []byte) (model.State, error) {
+	r := codec.NewReader(data)
+	out := &cacheState{
+		Rng:    model.RandFromState(r.Uint64()),
+		Hits:   r.Int64(),
+		Misses: r.Int64(),
+		Fills:  r.Int64(),
+		Pad:    r.Bytes(),
+	}
+	return out, r.Err()
+}
+
 type cache struct {
 	name string
 	cpu  event.ObjectID
@@ -263,6 +308,19 @@ func (s *portState) Clone() model.State {
 
 func (s *portState) StateBytes() int { return 16 + len(s.Pad) }
 
+// MarshalState implements codec.DeltaState.
+func (s *portState) MarshalState(buf []byte) []byte {
+	buf = codec.AppendInt64(buf, s.Routed)
+	return codec.AppendBytes(buf, s.Pad)
+}
+
+// UnmarshalState implements codec.DeltaState.
+func (s *portState) UnmarshalState(data []byte) (model.State, error) {
+	r := codec.NewReader(data)
+	out := &portState{Routed: r.Int64(), Pad: r.Bytes()}
+	return out, r.Err()
+}
+
 type port struct {
 	name  string
 	banks []event.ObjectID
@@ -300,6 +358,19 @@ func (s *bankState) Clone() model.State {
 }
 
 func (s *bankState) StateBytes() int { return 16 + len(s.Pad) }
+
+// MarshalState implements codec.DeltaState.
+func (s *bankState) MarshalState(buf []byte) []byte {
+	buf = codec.AppendInt64(buf, s.Served)
+	return codec.AppendBytes(buf, s.Pad)
+}
+
+// UnmarshalState implements codec.DeltaState.
+func (s *bankState) UnmarshalState(data []byte) (model.State, error) {
+	r := codec.NewReader(data)
+	out := &bankState{Served: r.Int64(), Pad: r.Bytes()}
+	return out, r.Err()
+}
 
 type bank struct {
 	name string

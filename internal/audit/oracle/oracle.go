@@ -15,6 +15,7 @@ import (
 
 	"gowarp/internal/audit"
 	"gowarp/internal/cancel"
+	"gowarp/internal/codec"
 	"gowarp/internal/comm"
 	"gowarp/internal/conservative"
 	"gowarp/internal/core"
@@ -132,6 +133,11 @@ type Options struct {
 	// must never change simulation semantics, so every differential and
 	// invariant check applies unchanged.
 	Balance core.BalanceConfig
+	// Codec configures the state-codec facet in every parallel leg. Like the
+	// other facets it must never change simulation semantics: delta
+	// reconstruction and capsule round-trips have to reproduce the sequential
+	// reference's final-state hash byte for byte.
+	Codec codec.Config
 	// Cells selects the matrix subset to run (nil = the full Matrix()).
 	Cells []Cell
 }
@@ -299,6 +305,7 @@ func runCell(m *model.Model, cell Cell, opts Options, gvtPeriod time.Duration,
 		OptimismWindow: opts.OptimismWindow,
 		InboxDepth:     1 << 14,
 		Balance:        opts.Balance,
+		Codec:          opts.Codec,
 		Audit:          au,
 	}
 	out := CellResult{Cell: cell}

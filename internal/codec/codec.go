@@ -1,0 +1,311 @@
+// Package codec is the state-codec facet of the kernel: incremental
+// (delta) checkpoint encoding, a self-contained LZ compressor for stored
+// snapshots, migration capsules and wire payloads, and the on-line
+// <O,I,S,T,P> controller that switches each object between full and delta
+// checkpointing from observed stored-bytes ratios.
+//
+// The paper's Section 4 controller tunes how often state is saved; this
+// facet makes each saved or shipped byte cheaper. Both matter once state
+// grows: with padded models the per-checkpoint and per-capsule cost is
+// dominated by state bytes, not by bookkeeping.
+//
+// Control tuple, per simulation object:
+//
+//	O — the ratio of delta-encoded to full-encoded stored bytes, sampled
+//	    over the control period (probed while full encoding is in force);
+//	I — the checkpoint encoding in force: full or delta;
+//	S — delta (Config.Mode Dynamic starts optimistic);
+//	T — a dead zone on the ratio: switch to full above HighRatio, back to
+//	    delta below LowRatio;
+//	P — Controller.Period saves.
+package codec
+
+import (
+	"fmt"
+
+	"gowarp/internal/model"
+)
+
+// DeltaState is the optional contract a model state implements to opt into
+// incremental checkpointing and capsule compression. MarshalState must be
+// deterministic (equal states encode to equal bytes) and UnmarshalState
+// must invert it: the kernel's structural-hash audit verifies the round
+// trip on every restore and migration install.
+type DeltaState interface {
+	model.State
+	// MarshalState appends a complete encoding of the state to buf and
+	// returns the extended slice.
+	MarshalState(buf []byte) []byte
+	// UnmarshalState decodes data into a fresh state. The receiver is used
+	// only as a factory; its own fields are not read.
+	UnmarshalState(data []byte) (model.State, error)
+}
+
+// Mode selects how checkpoints are encoded.
+type Mode int
+
+const (
+	// Off stores cloned states, the kernel's classic behavior.
+	Off Mode = iota
+	// Full stores complete encodings of every checkpoint (compressed when
+	// Compression says so).
+	Full
+	// Delta stores sparse binary deltas against the previous checkpoint,
+	// with a full anchor encoding every FullEvery saves.
+	Delta
+	// Dynamic starts in delta encoding and lets the on-line controller
+	// switch each object between full and delta from observed sizes.
+	Dynamic
+)
+
+// String names the mode for reports and flags.
+func (m Mode) String() string {
+	switch m {
+	case Full:
+		return "full"
+	case Delta:
+		return "delta"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return "off"
+	}
+}
+
+// Compression selects the byte-level compressor applied to stored
+// snapshot encodings, migration-capsule states and flushed wire payloads.
+type Compression int
+
+const (
+	// NoCompression stores encodings as produced.
+	NoCompression Compression = iota
+	// LZ applies the package's self-contained LZ77-style compressor.
+	LZ
+)
+
+// String names the compression for reports and flags.
+func (c Compression) String() string {
+	if c == LZ {
+		return "lz"
+	}
+	return "none"
+}
+
+// ControllerConfig is the uniform controller block shared by the facet
+// configs: the control period plus the transfer function's dead zone.
+type ControllerConfig struct {
+	// Period is P: checkpoint saves between controller firings (default 64).
+	Period int
+	// LowRatio and HighRatio bound the dead zone on the sampled
+	// delta/full stored-bytes ratio: the controller switches an object to
+	// delta encoding when the ratio falls below LowRatio and back to full
+	// when it rises above HighRatio (defaults 0.55 and 0.90).
+	LowRatio, HighRatio float64
+}
+
+// Config parameterizes the state-codec facet (Config.Codec in the kernel
+// configuration). The zero value is Off: cloned checkpoints, no
+// compression, exactly the kernel's pre-codec behavior.
+type Config struct {
+	// Mode selects the checkpoint encoding discipline.
+	Mode Mode
+	// Compression selects the compressor for stored encodings, capsule
+	// states and wire payloads. It applies even with Mode Off (wire and
+	// capsule compression only).
+	Compression Compression
+	// FullEvery is k: a full anchor encoding is stored after this many
+	// consecutive delta checkpoints, bounding reconstruction walks
+	// (default 16).
+	FullEvery int
+	// Controller parameterizes the Dynamic mode's on-line controller.
+	Controller ControllerConfig
+}
+
+// WithDefaults fills unset fields with the defaults used in the
+// experiments.
+func (c Config) WithDefaults() Config {
+	if c.FullEvery < 1 {
+		c.FullEvery = 16
+	}
+	if c.Controller.Period < 1 {
+		c.Controller.Period = 64
+	}
+	if c.Controller.LowRatio <= 0 {
+		c.Controller.LowRatio = 0.55
+	}
+	if c.Controller.HighRatio <= 0 {
+		c.Controller.HighRatio = 0.90
+	}
+	if c.Controller.LowRatio > c.Controller.HighRatio {
+		c.Controller.LowRatio = c.Controller.HighRatio
+	}
+	return c
+}
+
+// CompressWire reports whether flushed wire payloads and migration-capsule
+// states pass through the compressor.
+func (c Config) CompressWire() bool { return c.Compression == LZ }
+
+// String renders the config as a spec string (the format ParseSpec of the
+// facade accepts).
+func (c Config) String() string {
+	s := c.Mode.String()
+	if c.Compression == LZ {
+		s += ",lz"
+	}
+	return s
+}
+
+// probeEvery is how often, in saves, the Dynamic controller computes (but
+// does not store) a delta while full encoding is in force, so O remains
+// observable on both sides of the switch.
+const probeEvery = 8
+
+// StateCodec is one simulation object's checkpoint-encoding runtime: the
+// encoding currently in force, the anchor cadence, and the Dynamic-mode
+// controller state. It is owned by the object's state queue and touched
+// only by the hosting LP goroutine. A nil *StateCodec means Off.
+type StateCodec struct {
+	cfg      Config
+	useDelta bool
+	// sinceFull counts consecutive delta saves since the last stored full
+	// encoding.
+	sinceFull int
+
+	// Controller observation window: stored-byte sums and counts per
+	// encoding over the current period.
+	saves       int
+	fullStored  int64
+	fullCount   int64
+	deltaStored int64
+	deltaCount  int64
+
+	// Switches counts controller encoding changes, for the statistics
+	// report.
+	Switches int64
+
+	// Hook, when non-nil, observes every controller switch: the new
+	// encoding and the delta/full ratio that triggered it. Set it before
+	// the run (or on migration install).
+	Hook func(toDelta bool, ratio float64)
+}
+
+// NewState returns the per-object checkpoint codec for cfg, or nil when
+// checkpoint encoding is off (Mode Off).
+func NewState(cfg Config) *StateCodec {
+	cfg = cfg.WithDefaults()
+	if cfg.Mode == Off {
+		return nil
+	}
+	return &StateCodec{
+		cfg:      cfg,
+		useDelta: cfg.Mode == Delta || cfg.Mode == Dynamic,
+	}
+}
+
+// Config returns the codec's configuration (with defaults applied).
+func (c *StateCodec) Config() Config { return c.cfg }
+
+// UsingDelta reports the encoding currently in force.
+func (c *StateCodec) UsingDelta() bool { return c.useDelta }
+
+// NextIsDelta decides the encoding of the next save: delta when delta
+// encoding is in force and the anchor cadence permits it.
+func (c *StateCodec) NextIsDelta() bool {
+	return c.useDelta && c.sinceFull < c.cfg.FullEvery
+}
+
+// ProbeNow reports whether the next full save should also compute (without
+// storing) a delta encoding so the Dynamic controller keeps observing the
+// ratio while full encoding is in force.
+func (c *StateCodec) ProbeNow() bool {
+	return c.cfg.Mode == Dynamic && !c.useDelta && c.saves%probeEvery == 0
+}
+
+// RecordSave feeds one checkpoint observation to the controller: the bytes
+// actually stored and the encoding used. It advances the anchor cadence
+// and, in Dynamic mode, runs the control period.
+func (c *StateCodec) RecordSave(stored int, isDelta bool) {
+	if isDelta {
+		c.sinceFull++
+		c.deltaStored += int64(stored)
+		c.deltaCount++
+	} else {
+		c.sinceFull = 0
+		c.fullStored += int64(stored)
+		c.fullCount++
+	}
+	c.tick()
+}
+
+// RecordProbe feeds a computed-but-not-stored delta size (see ProbeNow).
+func (c *StateCodec) RecordProbe(deltaStored int) {
+	c.deltaStored += int64(deltaStored)
+	c.deltaCount++
+}
+
+// tick runs the control period: after Period saves with observations on
+// both encodings, compare mean stored sizes through the dead zone and
+// switch the encoding in force when the ratio leaves it.
+func (c *StateCodec) tick() {
+	c.saves++
+	if c.cfg.Mode != Dynamic || c.saves < c.cfg.Controller.Period {
+		return
+	}
+	if c.fullCount == 0 || c.deltaCount == 0 {
+		// One side unobserved (e.g. all-delta window between anchors):
+		// extend the window rather than decide blind.
+		return
+	}
+	meanFull := float64(c.fullStored) / float64(c.fullCount)
+	meanDelta := float64(c.deltaStored) / float64(c.deltaCount)
+	ratio := 1.0
+	if meanFull > 0 {
+		ratio = meanDelta / meanFull
+	}
+	switch {
+	case c.useDelta && ratio > c.cfg.Controller.HighRatio:
+		c.useDelta = false
+		c.switched(ratio)
+	case !c.useDelta && ratio < c.cfg.Controller.LowRatio:
+		c.useDelta = true
+		c.switched(ratio)
+	}
+	c.saves = 0
+	c.fullStored, c.fullCount = 0, 0
+	c.deltaStored, c.deltaCount = 0, 0
+}
+
+func (c *StateCodec) switched(ratio float64) {
+	c.Switches++
+	if c.Hook != nil {
+		c.Hook(c.useDelta, ratio)
+	}
+}
+
+// Pack compresses enc under the config's compression setting when that
+// shrinks it, returning the stored form (always a fresh slice the caller
+// owns) and whether it is compressed.
+func Pack(cfg Config, enc []byte) (stored []byte, compressed bool) {
+	if cfg.Compression == LZ && len(enc) >= minCompressLen {
+		if c := Compress(nil, enc); len(c) < len(enc) {
+			return c, true
+		}
+	}
+	return append([]byte(nil), enc...), false
+}
+
+// Unpack inverts Pack.
+func Unpack(stored []byte, compressed bool) ([]byte, error) {
+	if !compressed {
+		return stored, nil
+	}
+	return Decompress(stored)
+}
+
+// minCompressLen is the payload size below which compression is not
+// attempted: the op headers would eat the gain.
+const minCompressLen = 64
+
+// corrupt standardizes decode errors.
+func corrupt(what string) error { return fmt.Errorf("codec: corrupt %s", what) }

@@ -1,0 +1,96 @@
+package codec
+
+import "encoding/binary"
+
+// This file is the sparse binary delta: the incremental-checkpoint
+// encoding. A delta transforms the previous checkpoint's full encoding
+// (old) into the new one, spending bytes only on changed regions — for the
+// padded kernel states, a few counters out of kilobytes. Unlike a raw XOR
+// image, the sparse form shrinks on its own; compression on top is gravy.
+//
+// Format:
+//
+//	uvarint(newLen)
+//	repeated pairs until newLen bytes are produced:
+//	  uvarint(skip)     — bytes copied verbatim from old
+//	  uvarint(changed)  — bytes taken from the delta stream
+//	  <changed bytes>
+//
+// Positions past len(old) are by definition changed.
+
+// minSkipRun is the shortest equal run worth breaking a changed run for:
+// shorter gaps cost more in op headers than they save.
+const minSkipRun = 4
+
+// AppendDelta appends a delta transforming old into new and returns the
+// extended slice. ApplyDelta inverts it.
+func AppendDelta(dst, old, new []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(new)))
+	common := len(new)
+	if len(old) < common {
+		common = len(old)
+	}
+	i := 0
+	for i < len(new) {
+		// Equal run.
+		skip := i
+		for skip < common && old[skip] == new[skip] {
+			skip++
+		}
+		// Changed run: advance past differences, swallowing equal gaps
+		// shorter than minSkipRun.
+		j := skip
+		for j < len(new) {
+			if j < common && old[j] == new[j] {
+				run := j
+				for run < common && old[run] == new[run] {
+					run++
+				}
+				if run-j >= minSkipRun || run == len(new) {
+					break
+				}
+				j = run
+				continue
+			}
+			j++
+		}
+		dst = binary.AppendUvarint(dst, uint64(skip-i))
+		dst = binary.AppendUvarint(dst, uint64(j-skip))
+		dst = append(dst, new[skip:j]...)
+		i = j
+	}
+	return dst
+}
+
+// ApplyDelta reconstructs the new encoding from old and a delta produced
+// by AppendDelta.
+func ApplyDelta(old, delta []byte) ([]byte, error) {
+	want, k := binary.Uvarint(delta)
+	if k <= 0 {
+		return nil, corrupt("delta header")
+	}
+	delta = delta[k:]
+	out := make([]byte, 0, want)
+	for uint64(len(out)) < want {
+		skip, k := binary.Uvarint(delta)
+		if k <= 0 {
+			return nil, corrupt("delta skip")
+		}
+		delta = delta[k:]
+		changed, k := binary.Uvarint(delta)
+		if k <= 0 || uint64(len(delta)-k) < changed {
+			return nil, corrupt("delta run")
+		}
+		at := len(out)
+		if uint64(at)+skip > uint64(len(old)) {
+			return nil, corrupt("delta skip range")
+		}
+		out = append(out, old[at:at+int(skip)]...)
+		out = append(out, delta[k:k+int(changed)]...)
+		delta = delta[k+int(changed):]
+	}
+	if uint64(len(out)) != want || len(delta) != 0 {
+		return nil, corrupt("delta length")
+	}
+	return out, nil
+}

@@ -34,7 +34,18 @@ type Endpoint struct {
 	// called from the owning LP goroutine; set them before the run starts.
 	TraceFlush  func(dst int, cause FlushCause, events, bytes int)
 	TraceWindow func(dst int, oldW, newW time.Duration)
+
+	// Compress, when non-nil, is applied to flushed event payloads; the
+	// compressed form is used when it is smaller (Packet.Comp marks it) and
+	// the wire is charged the compressed size. Decompress must invert it.
+	// Set both before the run starts; the codec facet wires them.
+	Compress   func(dst, src []byte) []byte
+	Decompress func(src []byte) ([]byte, error)
 }
+
+// minWireCompress is the payload size below which flush skips compression:
+// op headers would eat the gain.
+const minWireCompress = 64
 
 // NewEndpoint attaches lp to the network with the given aggregation
 // configuration, accounting into st.
@@ -154,7 +165,15 @@ func (e *Endpoint) flush(dst int, cause FlushCause) {
 	}
 	count, payload := b.count, b.payload
 
+	comp := false
+	if e.Compress != nil && len(payload) >= minWireCompress {
+		if c := e.Compress(nil, payload); len(c) < len(payload) {
+			payload, comp = c, true
+		}
+	}
+
 	e.st.PhysicalMsgsSent++
+	e.st.WireRawBytes += int64(len(b.payload))
 	e.st.BytesSent += int64(len(payload))
 	if count > 1 {
 		e.st.AggregatedEvents += int64(count)
@@ -179,6 +198,7 @@ func (e *Endpoint) flush(dst int, cause FlushCause) {
 		Color:   b.color,
 		Count:   count,
 		Payload: payload,
+		Comp:    comp,
 	}, len(payload))
 
 	b.payload = nil // the receiver owns the slice now
@@ -217,6 +237,12 @@ func (e *Endpoint) Buffered() int64 {
 func (e *Endpoint) DecodeEvents(p Packet) ([]*event.Event, error) {
 	evs := make([]*event.Event, 0, p.Count)
 	buf := p.Payload
+	if p.Comp {
+		var err error
+		if buf, err = e.Decompress(buf); err != nil {
+			return nil, err
+		}
+	}
 	for len(buf) > 0 {
 		ev, rest, err := event.Decode(buf)
 		if err != nil {
@@ -229,11 +255,12 @@ func (e *Endpoint) DecodeEvents(p Packet) ([]*event.Event, error) {
 	return evs, nil
 }
 
-// SendMigrateReq asks dst — the LP currently recorded as owning obj — to
-// migrate obj to LP to. A control message: no GVT accounting (it carries no
-// events), and the owner drops it silently if the object has since moved on.
-func (e *Endpoint) SendMigrateReq(dst int, obj int32, to int) {
-	e.net.deliver(dst, Packet{Kind: PktMigrateReq, From: e.lp, Object: obj, Dst: to}, controlBytes)
+// SendMigrateReq asks dst — the LP currently recorded as owning objs — to
+// migrate them to LP to, batched so co-migrating objects can share one
+// capsule. A control message: no GVT accounting (it carries no events), and
+// the owner silently skips any object that has since moved on.
+func (e *Endpoint) SendMigrateReq(dst int, objs []int32, to int) {
+	e.net.deliver(dst, Packet{Kind: PktMigrateReq, From: e.lp, Objects: objs, Dst: to}, controlBytes)
 }
 
 // SendMigration ships a packed object to dst. minTime is the capsule's

@@ -59,13 +59,17 @@ type Packet struct {
 	// Count is the number of events encoded in Payload.
 	Count   int
 	Payload []byte
-	Token   Token
-	GVT     vtime.Time
+	// Comp marks a compressed Payload (see Endpoint.Compress); the receiver
+	// must decompress before decoding events.
+	Comp  bool
+	Token Token
+	GVT   vtime.Time
 	// Bound is a null message's lower bound on the sender's future events.
 	Bound vtime.Time
-	// Object and Dst parameterize a PktMigrateReq: migrate Object to LP Dst.
-	Object int32
-	Dst    int
+	// Objects and Dst parameterize a PktMigrateReq: migrate Objects to LP
+	// Dst (batched so co-migrating objects can share one capsule).
+	Objects []int32
+	Dst     int
 	// Capsule is a PktMigrate payload: the packed object, opaque to this
 	// layer (the kernel defines the concrete type). It rides as a pointer
 	// because the substrate is in-process; the ownership contract is still

@@ -103,14 +103,36 @@ func (lp *lpRun) runBalancer() {
 		part := lp.k.rt.Assignment()
 		g := partition.FromMeasurements(len(part), loadOf(win), win.Edges())
 		moves = partition.Rebalance(g, part, lp.numLPs, b.cfg.MaxMoves)
+
+		// Group moves by (source, destination) so co-migrating objects share
+		// one capsule (locally hosted) or one request (remote owners).
+		type lane struct{ from, to int }
+		groups := make(map[lane][]int32)
+		var order []lane // deterministic actuation order
 		for _, m := range moves {
-			if m.From == lp.id {
-				if o := lp.local[m.Object]; o != nil && len(lp.objs) > 1 {
-					lp.migrateOut(o, m.To)
-				}
+			l := lane{m.From, m.To}
+			if _, seen := groups[l]; !seen {
+				order = append(order, l)
+			}
+			groups[l] = append(groups[l], int32(m.Object))
+		}
+		for _, l := range order {
+			objs := groups[l]
+			if l.from != lp.id {
+				lp.ep.SendMigrateReq(l.from, objs, l.to)
 				continue
 			}
-			lp.ep.SendMigrateReq(m.From, int32(m.Object), m.To)
+			batch := make([]*simObject, 0, len(objs))
+			for _, id := range objs {
+				o := lp.local[id]
+				if o == nil || len(lp.objs)-len(batch) <= 1 {
+					continue
+				}
+				batch = append(batch, o)
+			}
+			if len(batch) > 0 {
+				lp.migrateOutBatch(batch, l.to)
+			}
 		}
 		if len(moves) > 0 {
 			lp.st.BalanceSteps++

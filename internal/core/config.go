@@ -14,6 +14,7 @@ import (
 
 	"gowarp/internal/audit"
 	"gowarp/internal/cancel"
+	"gowarp/internal/codec"
 	"gowarp/internal/comm"
 	"gowarp/internal/model"
 	"gowarp/internal/pq"
@@ -90,6 +91,35 @@ type Config struct {
 	// Disabled by default; when disabled the kernel behaves exactly as with
 	// static placement.
 	Balance BalanceConfig
+
+	// Codec configures the state-codec facet (the fifth facet): incremental
+	// delta checkpointing with periodic full anchors, compression of stored
+	// snapshots, migration-capsule states and flushed wire payloads, and an
+	// on-line controller switching each object between full and delta
+	// encoding from observed stored sizes. The zero value is off: cloned
+	// checkpoints and uncompressed payloads, exactly the pre-codec kernel.
+	Codec codec.Config
+}
+
+// BalanceMode selects how object placement is managed, mirroring the other
+// facets' Mode fields.
+type BalanceMode int
+
+const (
+	// BalanceStatic keeps the model's static partition for the whole run:
+	// no load recording, no controller, and routing-table reads are single
+	// atomic loads.
+	BalanceStatic BalanceMode = iota
+	// BalanceDynamic turns on migration and the on-line load controller.
+	BalanceDynamic
+)
+
+// String names the mode for reports and flags.
+func (m BalanceMode) String() string {
+	if m == BalanceDynamic {
+		return "dynamic"
+	}
+	return "static"
 }
 
 // BalanceConfig parameterizes the load-balancing controller as the paper's
@@ -100,9 +130,10 @@ type Config struct {
 // boundary object from the most- to the least-loaded LP when the imbalance
 // leaves a dead zone, and the period P is a multiple of the GVT period.
 type BalanceConfig struct {
-	// Enabled turns migration and the controller on. Off, the kernel takes
-	// the static-placement fast path: no load recording, no controller, and
-	// routing-table reads are single atomic loads.
+	// Mode selects static placement or the dynamic load controller.
+	Mode BalanceMode
+	// Enabled is the pre-facet-API spelling of Mode == BalanceDynamic, kept
+	// as a deprecated alias: setting it selects BalanceDynamic.
 	Enabled bool
 	// Period is the number of GVT applications between controller firings
 	// (the P component; default 8).
@@ -121,7 +152,17 @@ type BalanceConfig struct {
 	MinSample int64
 }
 
+// Dynamic reports whether the dynamic load controller is selected (by Mode
+// or the deprecated Enabled alias).
+func (c BalanceConfig) Dynamic() bool {
+	return c.Mode == BalanceDynamic || c.Enabled
+}
+
 func (c BalanceConfig) withDefaults() BalanceConfig {
+	if c.Enabled {
+		c.Mode = BalanceDynamic
+	}
+	c.Enabled = c.Mode == BalanceDynamic
 	if c.Period <= 0 {
 		c.Period = 8
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gowarp/internal/audit"
+	"gowarp/internal/codec"
 	"gowarp/internal/comm"
 	"gowarp/internal/event"
 	"gowarp/internal/gvt"
@@ -303,13 +304,13 @@ func (lp *lpRun) initObjects() {
 		o.state = o.obj.InitialState()
 		ctx := execContext{o: o}
 		o.obj.Init(&ctx, o.state)
-		snap := statesave.Snapshot{
-			State:   o.state.Clone(),
+		meta := statesave.Snapshot{
 			SendVT:  o.sendVT,
 			SendSeq: o.sendSeq,
+			Hash:    o.au.HashOf(o.state),
 		}
-		snap.Hash = o.au.HashOf(snap.State)
-		o.stateQ = statesave.NewQueue(snap)
+		o.stateQ = statesave.NewQueue(o.state, meta, codec.NewState(lp.cfg.Codec))
+		bindObjectHooks(lp, o) // rebind now that the state queue exists
 		lp.refresh(o)
 	}
 }

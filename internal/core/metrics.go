@@ -29,6 +29,10 @@ type runMetrics struct {
 	migrations   *telemetry.Metric
 	forwarded    *telemetry.Metric
 	hostedObjs   *telemetry.Metric
+
+	checkpointBytes *telemetry.Metric
+	capsuleBytes    *telemetry.Metric
+	codecSwitches   *telemetry.Metric
 }
 
 func newRunMetrics(reg *telemetry.Registry, numLPs int) *runMetrics {
@@ -52,6 +56,10 @@ func newRunMetrics(reg *telemetry.Registry, numLPs int) *runMetrics {
 		migrations:   reg.Counter("gowarp_migrations_total", "Object migrations installed on this LP.", true),
 		forwarded:    reg.Counter("gowarp_forwarded_msgs_total", "Events forwarded after arriving at a former owner.", true),
 		hostedObjs:   reg.Gauge("gowarp_hosted_objects", "Simulation objects currently hosted by this LP.", true),
+
+		checkpointBytes: reg.Counter("gowarp_checkpoint_bytes_total", "Checkpoint bytes stored after codec encoding and compression.", true),
+		capsuleBytes:    reg.Counter("gowarp_capsule_bytes_total", "Migration-capsule bytes shipped after codec encoding (sender side).", true),
+		codecSwitches:   reg.Counter("gowarp_codec_switches_total", "State-codec full/delta encoding switches.", true),
 	}
 }
 
@@ -85,6 +93,9 @@ func (lp *lpRun) publishMetrics(g vtime.Time) {
 	m.migrations.Set(id, float64(st.Migrations))
 	m.forwarded.Set(id, float64(st.ForwardedMsgs))
 	m.hostedObjs.Set(id, float64(len(lp.objs)))
+	m.checkpointBytes.Set(id, float64(st.CheckpointBytes))
+	m.capsuleBytes.Set(id, float64(st.CapsuleBytes))
+	m.codecSwitches.Set(id, float64(st.CodecSwitches))
 
 	meanChi, lazy, meanWindow := lp.controlSnapshot()
 	m.meanChi.Set(id, meanChi)

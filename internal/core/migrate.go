@@ -5,131 +5,224 @@ import (
 
 	"gowarp/internal/audit"
 	"gowarp/internal/cancel"
+	"gowarp/internal/codec"
 	"gowarp/internal/comm"
+	"gowarp/internal/model"
 	"gowarp/internal/pq"
 	"gowarp/internal/vtime"
 )
 
-// This file implements object migration: packing a quiescent simulation
-// object — working state, pending events, processed history, state queue,
+// This file implements object migration: packing quiescent simulation
+// objects — working state, pending events, processed history, state queue,
 // output queue, per-object controller state — into a capsule, shipping it to
-// another LP over the communication substrate, and installing it there.
+// another LP over the communication substrate, and installing it there. One
+// capsule may carry several co-migrating objects bound for the same
+// destination (the balancer batches its per-destination moves), paying the
+// fixed capsule overhead and the physical message once.
 //
 // Correctness rests on three pillars:
 //
 //   - GVT soundness: the capsule is color-accounted like an events packet
-//     (Endpoint.SendMigration / ReceiveMigration) with the object's
-//     virtual-time floor folded into the red minimum, so GVT can never
-//     overtake the unprocessed work the capsule carries.
+//     (Endpoint.SendMigration / ReceiveMigration) with the minimum
+//     virtual-time floor over its objects folded into the red minimum, so
+//     GVT can never overtake the unprocessed work the capsule carries.
 //
 //   - No lost or duplicated events: the source packs at a safe point (the
 //     packet-handling loop, never mid-execution) after draining its deferred
-//     queue, so every event it has accepted for the object travels inside the
-//     capsule. Events that arrive at the source afterwards find the object
-//     gone and are forwarded to the destination; per-sender FIFO channels
-//     guarantee the capsule precedes any such forward from the source itself.
+//     queue, so every event it has accepted for the objects travels inside
+//     the capsule. Events that arrive at the source afterwards find the
+//     object gone and are forwarded to the destination; per-sender FIFO
+//     channels guarantee the capsule precedes any such forward from the
+//     source itself.
 //
 //   - Routing convergence: the shared routing table flips only after the
-//     destination installs the object, so a direct send routed by the new
-//     entry always arrives post-install; until then senders reach the source,
-//     which forwards using its outbound hint.
+//     destination installs each object, so a direct send routed by the new
+//     entry always arrives post-install; until then senders reach the
+//     source, which forwards using its outbound hint.
 
-// capsule is the migration payload: the object runtime itself plus the
-// integrity manifest the destination checks on install.
-type capsule struct {
-	o    *simObject
-	from int
+// capsuleItem is one migrated object inside a capsule plus the integrity
+// manifest the destination checks on install.
+type capsuleItem struct {
+	o *simObject
 	// pending is the unprocessed-event count at pack time; hash is the
 	// structural hash of the working state (0 when auditing is off). The
 	// installing LP verifies both — a mismatch means the move lost events or
 	// state.
 	pending int
 	hash    uint64
+	// stateEnc, when non-nil, is the working state's marshaled (and, when
+	// comp, compressed) image: the codec facet ships encoded state and the
+	// destination decodes it, so the audit hash check exercises the real
+	// round trip. Nil means the state object travels in place.
+	stateEnc []byte
+	comp     bool
 }
 
-// approxCapsuleBytes sizes a capsule for the communication cost model: a
-// fixed overhead plus a per-pending-event charge.
-func approxCapsuleBytes(pending int) int { return 256 + 64*pending }
+// capsule is the migration payload: one or more object runtimes bound for
+// the same destination LP.
+type capsule struct {
+	from  int
+	items []capsuleItem
+}
+
+// capsuleOverheadBytes is the fixed per-capsule charge in the communication
+// cost model; each object adds its events, state and state-queue bytes.
+const capsuleOverheadBytes = 256
+
+// perPendingEventBytes sizes one unprocessed event travelling in a capsule.
+const perPendingEventBytes = 64
 
 // onMigrateReq handles a migration request from the balancing controller.
-// Stale or unsafe requests are dropped silently: the object may have moved
-// on, the request may name this LP itself, or honoring it would empty this
-// LP (the kernel requires every LP to host at least one object).
+// Stale or unsafe requests are dropped silently: an object may have moved
+// on, the request may name this LP itself, or honoring it in full would
+// empty this LP (the kernel requires every LP to host at least one object).
 func (lp *lpRun) onMigrateReq(p comm.Packet) {
-	id := int(p.Object)
-	if id < 0 || id >= len(lp.local) || p.Dst < 0 || p.Dst >= lp.numLPs || p.Dst == lp.id {
+	if p.Dst < 0 || p.Dst >= lp.numLPs || p.Dst == lp.id {
 		return
 	}
-	o := lp.local[id]
-	if o == nil || len(lp.objs) <= 1 {
-		return
+	batch := make([]*simObject, 0, len(p.Objects))
+	for _, id := range p.Objects {
+		if int(id) < 0 || int(id) >= len(lp.local) {
+			continue
+		}
+		o := lp.local[id]
+		if o == nil {
+			continue
+		}
+		if len(lp.objs)-len(batch) <= 1 {
+			break
+		}
+		batch = append(batch, o)
 	}
-	lp.migrateOut(o, p.Dst)
+	if len(batch) > 0 {
+		lp.migrateOutBatch(batch, p.Dst)
+	}
 }
 
-// migrateOut packs o and ships it to LP to. Called only from safe points
-// (packet handling, the balancer at GVT application), never while o is
-// executing.
+// migrateOut packs a single object and ships it to LP to.
 func (lp *lpRun) migrateOut(o *simObject, to int) {
-	// Flush everything this LP still owes the object: queued intra-LP
-	// messages (which may trigger rollbacks that change its queues) and
+	lp.migrateOutBatch([]*simObject{o}, to)
+}
+
+// migrateOutBatch packs every object in batch into one capsule and ships it
+// to LP to. Called only from safe points (packet handling, the balancer at
+// GVT application), never while an object is executing.
+func (lp *lpRun) migrateOutBatch(batch []*simObject, to int) {
+	// Flush everything this LP still owes the objects: queued intra-LP
+	// messages (which may trigger rollbacks that change their queues) and
 	// stale lazy-pending outputs.
 	lp.drainDeferred()
-	o.drainStale()
-
-	// Detach: swap-remove from the hosted set, fix the displaced object's
-	// slot, and rebuild the scheduler over the survivors.
-	last := len(lp.objs) - 1
-	lp.objs[o.slot] = lp.objs[last]
-	lp.objs[o.slot].slot = o.slot
-	lp.objs[last] = nil
-	lp.objs = lp.objs[:last]
-	lp.local[o.id] = nil
-	lp.outbound[o.id] = to
-	lp.rebuildSched()
-
-	c := &capsule{o: o, from: lp.id, pending: o.pending.Len()}
-	if lp.au != nil {
-		c.hash = audit.HashState(o.state)
-		lp.au.MigrateOut(o.id, to, c.pending, c.hash)
+	for _, o := range batch {
+		o.drainStale()
 	}
 
-	// The capsule's virtual-time floor: the minimum over the object's
-	// unprocessed events and its unresolved lazy outputs. Folding it into
-	// the GVT color accounting keeps GVT at or below everything in flight.
-	floor := vtime.Min(o.nextTime(), o.out.MinPending())
-	lp.ep.SendMigration(to, c, floor, approxCapsuleBytes(c.pending))
+	// Detach: swap-remove each from the hosted set, fix the displaced
+	// object's slot, and rebuild the scheduler over the survivors.
+	for _, o := range batch {
+		last := len(lp.objs) - 1
+		lp.objs[o.slot] = lp.objs[last]
+		lp.objs[o.slot].slot = o.slot
+		lp.objs[last] = nil
+		lp.objs = lp.objs[:last]
+		lp.local[o.id] = nil
+		lp.outbound[o.id] = to
+	}
+	lp.rebuildSched()
+
+	c := &capsule{from: lp.id, items: make([]capsuleItem, 0, len(batch))}
+	floor := vtime.PosInf
+	rawBytes, storedBytes := capsuleOverheadBytes, capsuleOverheadBytes
+	for _, o := range batch {
+		it := capsuleItem{o: o, pending: o.pending.Len()}
+		if lp.au != nil {
+			it.hash = audit.HashState(o.state)
+			lp.au.MigrateOut(o.id, to, it.pending, it.hash)
+		}
+		stateRaw := stateSizeEstimate(o.state)
+		stateStored := stateRaw
+		if lp.cfg.Codec.CompressWire() {
+			if ds, ok := o.state.(codec.DeltaState); ok {
+				raw := ds.MarshalState(nil)
+				it.stateEnc, it.comp = codec.Pack(lp.cfg.Codec, raw)
+				stateRaw = len(raw)
+				stateStored = len(it.stateEnc)
+			}
+		}
+		evBytes := perPendingEventBytes * it.pending
+		rawBytes += evBytes + stateRaw + o.stateQ.RawBytes()
+		storedBytes += evBytes + stateStored + o.stateQ.StoredBytes()
+
+		// The object's virtual-time floor: the minimum over its unprocessed
+		// events and unresolved lazy outputs. Folding the batch minimum into
+		// the GVT color accounting keeps GVT at or below everything in
+		// flight.
+		floor = vtime.Min(floor, vtime.Min(o.nextTime(), o.out.MinPending()))
+		c.items = append(c.items, it)
+	}
+	lp.st.CapsuleRawBytes += int64(rawBytes)
+	lp.st.CapsuleBytes += int64(storedBytes)
+	if len(batch) > 1 {
+		lp.st.BatchedMigrations += int64(len(batch))
+	}
+	lp.ep.SendMigration(to, c, floor, storedBytes)
 }
 
-// install adopts a migrated object arriving in p: rebind it to this LP,
+// stateSizeEstimate is the byte size charged for a state travelling
+// unencoded: its own estimate when it provides one, else 0 (the capsule
+// overhead still applies).
+func stateSizeEstimate(st model.State) int {
+	if s, ok := st.(interface{ StateBytes() int }); ok {
+		return s.StateBytes()
+	}
+	return 0
+}
+
+// install adopts the migrated objects arriving in p: rebind each to this LP,
 // verify the capsule manifest, and only then flip the shared routing table —
 // after the flip, events routed by the new entry arrive at an LP that is
 // ready to execute the object.
 func (lp *lpRun) install(p comm.Packet) {
 	c := p.Capsule.(*capsule)
-	o := c.o
+	for i := range c.items {
+		it := &c.items[i]
+		o := it.o
 
-	o.lp = lp
-	o.slot = len(lp.objs)
-	lp.objs = append(lp.objs, o)
-	lp.local[o.id] = o
-	delete(lp.outbound, o.id) // the object may be coming back home
-	lp.rebuildSched()
+		if it.stateEnc != nil {
+			// Decode the shipped state image; the audit hash below compares
+			// it against what the source packed.
+			raw, err := codec.Unpack(it.stateEnc, it.comp)
+			if err != nil {
+				panic("core: migration capsule decode failed: " + err.Error())
+			}
+			st, err := o.state.(codec.DeltaState).UnmarshalState(raw)
+			if err != nil {
+				panic("core: migration capsule state decode failed: " + err.Error())
+			}
+			o.state = st
+		}
 
-	// Rebind the pieces that point at the hosting LP: the output queue's
-	// anti-message emitter and counters, and the controller trace hooks.
-	o.out.Rebind(lp.emitAnti, &lp.st)
-	bindObjectHooks(lp, o)
+		o.lp = lp
+		o.slot = len(lp.objs)
+		lp.objs = append(lp.objs, o)
+		lp.local[o.id] = o
+		delete(lp.outbound, o.id) // the object may be coming back home
+		lp.rebuildSched()
 
-	if lp.au != nil {
-		o.au = lp.au.Adopt(o.au, o.id)
-		lp.au.MigrateIn(o.id, c.from, c.pending, o.pending.Len(), c.hash, audit.HashState(o.state))
+		// Rebind the pieces that point at the hosting LP: the output queue's
+		// anti-message emitter and counters, and the controller trace hooks.
+		o.out.Rebind(lp.emitAnti, &lp.st)
+		bindObjectHooks(lp, o)
+
+		if lp.au != nil {
+			o.au = lp.au.Adopt(o.au, o.id)
+			lp.au.MigrateIn(o.id, c.from, it.pending, o.pending.Len(), it.hash, audit.HashState(o.state))
+		}
+
+		lp.st.Migrations++
+		lp.st.MigratedEvents += int64(it.pending)
+		epoch := lp.k.rt.Move(int(o.id), lp.id)
+		lp.tr.Migration(int32(o.id), int32(c.from), int64(it.pending), int64(epoch))
 	}
-
-	lp.st.Migrations++
-	lp.st.MigratedEvents += int64(c.pending)
-	epoch := lp.k.rt.Move(int(o.id), lp.id)
-	lp.tr.Migration(int32(o.id), int32(c.from), int64(c.pending), int64(epoch))
 }
 
 // rebuildSched reassigns dense slots and rebuilds the schedule heap after
@@ -143,18 +236,30 @@ func (lp *lpRun) rebuildSched() {
 	}
 }
 
-// bindObjectHooks points o's controller trace hooks at lp's recorder (or
-// clears them when tracing is off). Used at construction and re-used when a
-// migrated object is installed on a new LP.
+// bindObjectHooks points o's controller hooks at lp's recorder. The codec
+// switch hook always counts into lp's counters; trace hooks are cleared when
+// tracing is off. Used at construction, at init (once the state queue
+// exists), and re-used when a migrated object is installed on a new LP.
 func bindObjectHooks(lp *lpRun, o *simObject) {
 	sel := o.out.Selector()
 	tr := lp.tr
+	objID := int32(o.id)
+
+	if o.stateQ != nil {
+		if sc := o.stateQ.Codec(); sc != nil {
+			st := &lp.st
+			sc.Hook = func(toDelta bool, ratio float64) {
+				st.CodecSwitches++
+				tr.CodecSwitch(objID, toDelta, int64(ratio*1000))
+			}
+		}
+	}
+
 	if tr == nil {
 		o.ckpt.Hook = nil
 		sel.Hook = nil
 		return
 	}
-	objID := int32(o.id)
 	o.ckpt.Hook = func(oldChi, newChi int, ec time.Duration) {
 		if oldChi != newChi {
 			tr.CheckpointAdjust(objID, oldChi, newChi, ec)

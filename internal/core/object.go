@@ -249,21 +249,24 @@ func (o *simObject) executeNext() {
 
 	if o.ckpt.OnEventProcessed() {
 		t0 := time.Now()
-		snap := o.state.Clone()
-		d := time.Since(t0)
-		o.stateQ.Save(statesave.Snapshot{
+		res := o.stateQ.Save(o.state, statesave.Snapshot{
 			Time:    o.lvt,
-			State:   snap,
 			Mark:    o.absProcessed(),
 			SendVT:  o.sendVT,
 			SendSeq: o.sendSeq,
-			Hash:    o.au.HashOf(snap),
+			Hash:    o.au.HashOf(o.state),
 		})
+		d := time.Since(t0)
 		o.ckpt.RecordSaveCost(d)
 		lp.st.StatesSaved++
 		lp.st.StateSaveTime += d
-		if s, ok := snap.(interface{ StateBytes() int }); ok {
+		if s, ok := o.state.(interface{ StateBytes() int }); ok {
 			lp.st.StateBytes += int64(s.StateBytes())
+		}
+		lp.st.CheckpointRawBytes += int64(res.RawBytes)
+		lp.st.CheckpointBytes += int64(res.StoredBytes)
+		if res.Delta {
+			lp.st.DeltaCheckpoints++
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gowarp/internal/cancel"
+	"gowarp/internal/codec"
 	"gowarp/internal/comm"
 	"gowarp/internal/event"
 	"gowarp/internal/gvt"
@@ -29,12 +30,13 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 	}
 	numLPs := m.NumLPs()
 	cfg.Balance = cfg.Balance.withDefaults()
+	cfg.Codec = cfg.Codec.WithDefaults()
 
 	sh := &shared{
 		rt:   route.New(m.Partition),
 		objs: make([]*simObject, len(m.Objects)),
 	}
-	if cfg.Balance.Enabled {
+	if cfg.Balance.Dynamic() {
 		sh.board = stats.NewLoadBoard(len(m.Objects), numLPs)
 	}
 
@@ -67,13 +69,17 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		if lp.idleTick <= 0 {
 			lp.idleTick = 250 * time.Microsecond
 		}
-		if cfg.Balance.Enabled {
+		if cfg.Balance.Dynamic() {
 			lp.ld = newLoadRecorder(len(m.Objects))
 			if i == 0 {
 				lp.bal = newBalancer(cfg.Balance)
 			}
 		}
 		lp.ep = net.NewEndpoint(i, cfg.Aggregation, &lp.st)
+		if cfg.Codec.CompressWire() {
+			lp.ep.Compress = codec.Compress
+			lp.ep.Decompress = codec.Decompress
+		}
 		lp.gvtMgr = gvt.NewManager(i, numLPs, lp.ep, cfg.GVTPeriod, &lp.st)
 		if tr := lp.tr; tr != nil {
 			lp.ep.TraceFlush = func(dst int, cause comm.FlushCause, events, bytes int) {
@@ -152,10 +158,26 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 			}
 			c := p.Capsule.(*capsule)
 			lp := lps[i]
-			c.o.lp = lp
-			c.o.slot = len(lp.objs)
-			lp.objs = append(lp.objs, c.o)
-			lp.local[c.o.id] = c.o
+			for j := range c.items {
+				o := c.items[j].o
+				if enc := c.items[j].stateEnc; enc != nil {
+					// Decode the shipped state so the final report sees the
+					// object's real state, not a stale image.
+					raw, err := codec.Unpack(enc, c.items[j].comp)
+					if err != nil {
+						return nil, fmt.Errorf("core: leftover capsule decode: %w", err)
+					}
+					st, err := o.state.(codec.DeltaState).UnmarshalState(raw)
+					if err != nil {
+						return nil, fmt.Errorf("core: leftover capsule state decode: %w", err)
+					}
+					o.state = st
+				}
+				o.lp = lp
+				o.slot = len(lp.objs)
+				lp.objs = append(lp.objs, o)
+				lp.local[o.id] = o
+			}
 		}
 	}
 	if cfg.Audit != nil {

@@ -37,6 +37,51 @@ func (tb Testbed) Rates() (Figure, error) {
 	return fig, nil
 }
 
+// RatesCodec measures the state-codec facet: the Rates workloads run with
+// the codec off and with delta+LZ encoding, so the BENCH artifact tracks
+// both throughput and the stored checkpoint/capsule bytes each way. The
+// interesting regression is bytes per committed event: delta+LZ should cut
+// checkpoint+capsule bytes by well over 25% on these padded-state models.
+func (tb Testbed) RatesCodec() (Figure, error) {
+	fig := Figure{
+		Name:   "rates_codec",
+		Title:  "Committed-event rate and checkpoint bytes, codec off vs delta+LZ",
+		XLabel: "model(0=smmp,1=raid)",
+		YLabel: "execution seconds (bytes in BENCH json)",
+	}
+	variants := []struct {
+		name  string
+		codec gowarp.CodecConfig
+	}{
+		{"off", gowarp.CodecConfig{}},
+		{"delta+lz", gowarp.CodecConfig{Mode: gowarp.CodecDelta, Compression: gowarp.LZCompression}},
+	}
+	for vi := range variants {
+		fig.Series = append(fig.Series, Series{Name: variants[vi].name})
+	}
+	models := []struct {
+		name string
+		mk   func() (*gowarp.Model, gowarp.Config)
+	}{
+		{"smmp", func() (*gowarp.Model, gowarp.Config) { return tb.smmp(2000) }},
+		{"raid", func() (*gowarp.Model, gowarp.Config) { return tb.raid(500) }},
+	}
+	for mi, mm := range models {
+		for vi, v := range variants {
+			m, cfg := mm.mk()
+			cfg.Codec = v.codec
+			row, err := tb.run(m, cfg)
+			if err != nil {
+				return fig, fmt.Errorf("rates_codec/%s/%s: %w", mm.name, v.name, err)
+			}
+			row.Label = v.name
+			row.X = float64(mi)
+			fig.Series[vi].Rows = append(fig.Series[vi].Rows, row)
+		}
+	}
+	return fig, nil
+}
+
 // Fig5 reproduces Figure 5: normalized performance of dynamic check-pointing
 // for RAID and SMMP. Three configurations per model: periodic check-pointing
 // with aggressive cancellation (the 1.0 baseline), periodic with lazy, and

@@ -21,6 +21,14 @@ func NewRand(seed uint64) Rand {
 	return Rand{s: seed}
 }
 
+// State returns the generator's internal state, for state serialization.
+// RandFromState inverts it.
+func (r Rand) State() uint64 { return r.s }
+
+// RandFromState reconstructs a generator from a State() value, continuing
+// the stream exactly where it left off.
+func RandFromState(s uint64) Rand { return Rand{s: s} }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *Rand) Uint64() uint64 {
 	x := r.s

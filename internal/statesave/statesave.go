@@ -11,6 +11,7 @@ package statesave
 import (
 	"time"
 
+	"gowarp/internal/codec"
 	"gowarp/internal/control"
 	"gowarp/internal/model"
 	"gowarp/internal/vtime"
@@ -33,44 +34,142 @@ type Snapshot struct {
 	// runtime invariant auditor and re-verified on restore; 0 means the
 	// snapshot was taken with auditing disabled.
 	Hash uint64
+
+	// Codec-path storage: when the queue runs with a state codec, State is
+	// nil except at the restore head and the snapshot lives as an encoding —
+	// a full state image or a delta against the previous snapshot's
+	// encoding, optionally compressed.
+	enc    []byte
+	delta  bool
+	comp   bool
+	rawLen int
+}
+
+// SaveResult reports the byte cost of one checkpoint: the size of the full
+// state encoding and of what was actually stored (equal when the codec is
+// off, where both are the state's own size estimate).
+type SaveResult struct {
+	RawBytes    int
+	StoredBytes int
+	Delta       bool
 }
 
 // Queue is a simulation object's state queue (Figure 1), ordered by
 // ascending snapshot time. The initial (post-Init) state is stored at
 // vtime.NegInf so a rollback before the first finite checkpoint always finds
 // a restore point.
+//
+// With a state codec attached (and a state implementing codec.DeltaState),
+// snapshots are held as encodings instead of cloned states: full images
+// every codec.Config.FullEvery saves, sparse deltas in between, compressed
+// when configured. RestoreBefore reconstructs the restore point by walking
+// back to the nearest full image and replaying deltas forward.
 type Queue struct {
 	snaps []Snapshot
+
+	// Codec path; cd and proto are nil when checkpoints are cloned states.
+	cd    *codec.StateCodec
+	proto codec.DeltaState
+	// lastEnc is the full (uncompressed) encoding of the newest snapshot,
+	// the base for the next delta. It never aliases queue storage.
+	lastEnc []byte
+	// scratch is the recycled marshal buffer.
+	scratch []byte
 }
 
 // NewQueue returns a state queue primed with the object's initial
-// (post-Init) snapshot.
-func NewQueue(initial Snapshot) *Queue {
-	initial.Time = vtime.NegInf
-	return &Queue{snaps: []Snapshot{initial}}
+// (post-Init) state. meta carries the initial snapshot's bookkeeping
+// (SendVT, SendSeq, Hash); its Time is forced to vtime.NegInf. cd selects
+// encoded checkpointing; it is ignored (and the queue falls back to cloned
+// states) when st does not implement codec.DeltaState.
+func NewQueue(st model.State, meta Snapshot, cd *codec.StateCodec) *Queue {
+	meta.Time = vtime.NegInf
+	q := &Queue{}
+	if ds, ok := st.(codec.DeltaState); ok && cd != nil {
+		q.cd = cd
+		q.proto = ds
+		raw := ds.MarshalState(nil)
+		meta.enc, meta.comp = codec.Pack(cd.Config(), raw)
+		meta.rawLen = len(raw)
+		q.lastEnc = raw
+	} else {
+		meta.State = st.Clone()
+		meta.rawLen = stateBytes(meta.State)
+	}
+	q.snaps = []Snapshot{meta}
+	return q
 }
 
-// Save appends a snapshot. Snapshot times must be non-decreasing; equal
-// times are allowed (several events may share a timestamp) and the later
-// snapshot wins on restore.
-func (q *Queue) Save(s Snapshot) {
-	q.snaps = append(q.snaps, s)
+// Codec returns the queue's state codec (nil when checkpoints are cloned
+// states, either by configuration or because the state is not a
+// codec.DeltaState).
+func (q *Queue) Codec() *codec.StateCodec { return q.cd }
+
+// Save checkpoints st: the snapshot's encoding (or clone) is taken here,
+// while meta carries the bookkeeping fields. Snapshot times must be
+// non-decreasing; equal times are allowed (several events may share a
+// timestamp) and the later snapshot wins on restore.
+func (q *Queue) Save(st model.State, meta Snapshot) SaveResult {
+	if q.cd == nil {
+		meta.State = st.Clone()
+		meta.rawLen = stateBytes(meta.State)
+		q.snaps = append(q.snaps, meta)
+		return SaveResult{RawBytes: meta.rawLen, StoredBytes: meta.rawLen}
+	}
+	cfg := q.cd.Config()
+	raw := st.(codec.DeltaState).MarshalState(q.scratch[:0])
+	isDelta := q.cd.NextIsDelta() && q.lastEnc != nil
+	payload := raw
+	if isDelta {
+		payload = codec.AppendDelta(nil, q.lastEnc, raw)
+	} else if q.cd.ProbeNow() && q.lastEnc != nil {
+		// Full save with a Dynamic controller in full mode: compute (but do
+		// not store) the delta so the controller keeps observing the ratio.
+		d, _ := codec.Pack(cfg, codec.AppendDelta(nil, q.lastEnc, raw))
+		q.cd.RecordProbe(len(d))
+	}
+	stored, comp := codec.Pack(cfg, payload)
+	q.cd.RecordSave(len(stored), isDelta)
+	meta.enc, meta.delta, meta.comp = stored, isDelta, comp
+	meta.rawLen = len(raw)
+	q.snaps = append(q.snaps, meta)
+	// The marshal buffer becomes the new delta base; recycle the old base
+	// (never aliased by queue storage) as the next marshal buffer.
+	q.scratch = q.lastEnc
+	q.lastEnc = raw
+	return SaveResult{RawBytes: len(raw), StoredBytes: len(stored), Delta: isDelta}
 }
 
 // RestoreBefore pops every snapshot at or after time t and returns the
 // newest remaining snapshot — the state to resume from when a straggler with
 // receive time t arrives. The returned snapshot stays in the queue (its
-// state must still be cloned before mutation). The strict inequality matters:
-// a snapshot taken at exactly t may already include a same-time event that
-// must be re-ordered after the straggler.
+// state must still be cloned before mutation); on the codec path it is
+// reconstructed from its encoding chain first. The strict inequality
+// matters: a snapshot taken at exactly t may already include a same-time
+// event that must be re-ordered after the straggler.
 func (q *Queue) RestoreBefore(t vtime.Time) Snapshot {
 	i := len(q.snaps)
 	for i > 0 && !q.snaps[i-1].Time.Before(t) {
 		q.snaps[i-1].State = nil
+		q.snaps[i-1].enc = nil
 		i--
 	}
 	q.snaps = q.snaps[:i]
 	// The NegInf snapshot is never discarded, so i >= 1 always holds.
+	if q.cd != nil {
+		head := &q.snaps[i-1]
+		raw := q.mustEncAt(i - 1)
+		if head.State == nil {
+			st, err := q.proto.UnmarshalState(raw)
+			if err != nil {
+				panic("statesave: snapshot decode failed: " + err.Error())
+			}
+			head.State = st
+		}
+		// The restored encoding is the new delta base.
+		q.lastEnc = raw
+		q.scratch = nil
+	}
 	return q.snaps[i-1]
 }
 
@@ -91,6 +190,14 @@ func (q *Queue) FossilCollect(gvt vtime.Time) int {
 	if keep == 0 {
 		return 0
 	}
+	if q.cd != nil && q.snaps[keep].delta {
+		// The new oldest snapshot must be self-contained: materialize its
+		// full encoding before its delta base is discarded.
+		raw := q.mustEncAt(keep)
+		s := &q.snaps[keep]
+		s.enc, s.comp = codec.Pack(q.cd.Config(), raw)
+		s.delta = false
+	}
 	n := keep
 	copy(q.snaps, q.snaps[keep:])
 	for i := len(q.snaps) - keep; i < len(q.snaps); i++ {
@@ -98,6 +205,78 @@ func (q *Queue) FossilCollect(gvt vtime.Time) int {
 	}
 	q.snaps = q.snaps[:len(q.snaps)-keep]
 	return n
+}
+
+// encAt reconstructs the full, uncompressed state encoding of snapshot i by
+// walking back to the nearest full image and applying deltas forward. The
+// result never aliases queue storage.
+func (q *Queue) encAt(i int) ([]byte, error) {
+	base := i
+	for base > 0 && q.snaps[base].delta {
+		base--
+	}
+	cur, err := codec.Unpack(q.snaps[base].enc, q.snaps[base].comp)
+	if err != nil {
+		return nil, err
+	}
+	if base == i && !q.snaps[base].comp {
+		// Unpack returned queue storage itself; the contract is a fresh slice.
+		cur = append([]byte(nil), cur...)
+	}
+	for j := base + 1; j <= i; j++ {
+		d, err := codec.Unpack(q.snaps[j].enc, q.snaps[j].comp)
+		if err != nil {
+			return nil, err
+		}
+		if cur, err = codec.ApplyDelta(cur, d); err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// mustEncAt is encAt for internal callers: a decode failure here means the
+// queue corrupted its own encodings, an invariant violation worth stopping
+// the run for.
+func (q *Queue) mustEncAt(i int) []byte {
+	raw, err := q.encAt(i)
+	if err != nil {
+		panic("statesave: checkpoint chain corrupt: " + err.Error())
+	}
+	return raw
+}
+
+// StoredBytes sums the bytes the queue actually holds per snapshot: encoded
+// sizes on the codec path, state size estimates otherwise. Migration uses it
+// to cost shipping the queue's content.
+func (q *Queue) StoredBytes() int {
+	total := 0
+	for i := range q.snaps {
+		if q.cd != nil {
+			total += len(q.snaps[i].enc)
+		} else {
+			total += q.snaps[i].rawLen
+		}
+	}
+	return total
+}
+
+// RawBytes sums the full (unencoded) state size per snapshot, the baseline
+// StoredBytes is measured against.
+func (q *Queue) RawBytes() int {
+	total := 0
+	for i := range q.snaps {
+		total += q.snaps[i].rawLen
+	}
+	return total
+}
+
+// stateBytes is the size estimate used when checkpoints are cloned states.
+func stateBytes(st model.State) int {
+	if s, ok := st.(interface{ StateBytes() int }); ok {
+		return s.StateBytes()
+	}
+	return 0
 }
 
 // Len returns the number of snapshots held (including the initial one).

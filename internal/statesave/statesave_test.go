@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"gowarp/internal/codec"
 	"gowarp/internal/model"
 	"gowarp/internal/vtime"
 )
@@ -13,15 +14,15 @@ type intState int
 
 func (s intState) Clone() model.State { return s }
 
-func snap(t vtime.Time, v int, mark int64) Snapshot {
-	return Snapshot{Time: t, State: intState(v), Mark: mark}
+func (q *Queue) save(t vtime.Time, v int, mark int64) {
+	q.Save(intState(v), Snapshot{Time: t, Mark: mark})
 }
 
 func TestQueueRestore(t *testing.T) {
-	q := NewQueue(Snapshot{State: intState(0)})
-	q.Save(snap(10, 1, 5))
-	q.Save(snap(20, 2, 9))
-	q.Save(snap(30, 3, 14))
+	q := NewQueue(intState(0), Snapshot{}, nil)
+	q.save(10, 1, 5)
+	q.save(20, 2, 9)
+	q.save(30, 3, 14)
 	if q.Len() != 4 {
 		t.Fatalf("Len = %d", q.Len())
 	}
@@ -49,9 +50,9 @@ func TestQueueRestore(t *testing.T) {
 }
 
 func TestQueueEqualTimes(t *testing.T) {
-	q := NewQueue(Snapshot{State: intState(0)})
-	q.Save(snap(10, 1, 1))
-	q.Save(snap(10, 2, 2)) // later snapshot at the same time wins
+	q := NewQueue(intState(0), Snapshot{}, nil)
+	q.save(10, 1, 1)
+	q.save(10, 2, 2) // later snapshot at the same time wins
 	s := q.RestoreBefore(11)
 	if s.State.(intState) != 2 {
 		t.Fatalf("RestoreBefore(11) picked %+v, want the newer equal-time snapshot", s)
@@ -59,9 +60,9 @@ func TestQueueEqualTimes(t *testing.T) {
 }
 
 func TestQueueFossilCollect(t *testing.T) {
-	q := NewQueue(Snapshot{State: intState(0)})
+	q := NewQueue(intState(0), Snapshot{}, nil)
 	for i := 1; i <= 5; i++ {
-		q.Save(snap(vtime.Time(10*i), i, int64(i)))
+		q.save(vtime.Time(10*i), i, int64(i))
 	}
 	// GVT = 35: keep the newest snapshot strictly before 35 (t=30) and
 	// everything after; drop NegInf, 10, 20.
@@ -87,9 +88,9 @@ func TestQueueFossilCollect(t *testing.T) {
 }
 
 func TestQueueFossilCollectAtExactSnapshotTime(t *testing.T) {
-	q := NewQueue(Snapshot{State: intState(0)})
-	q.Save(snap(10, 1, 1))
-	q.Save(snap(20, 2, 2))
+	q := NewQueue(intState(0), Snapshot{}, nil)
+	q.save(10, 1, 1)
+	q.save(20, 2, 2)
 	// GVT exactly 20: the t=10 snapshot must survive (straggler at 20
 	// restores strictly before 20); only NegInf drops.
 	if n := q.FossilCollect(20); n != 1 {
@@ -102,11 +103,11 @@ func TestQueueFossilCollectAtExactSnapshotTime(t *testing.T) {
 }
 
 func TestQueueNewest(t *testing.T) {
-	q := NewQueue(Snapshot{State: intState(0)})
+	q := NewQueue(intState(0), Snapshot{}, nil)
 	if q.Newest() != vtime.NegInf {
 		t.Error("fresh queue newest must be -inf")
 	}
-	q.Save(snap(7, 1, 1))
+	q.save(7, 1, 1)
 	if q.Newest() != 7 {
 		t.Errorf("Newest = %s", q.Newest())
 	}
@@ -199,5 +200,187 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if Periodic.String() != "periodic" || Dynamic.String() != "dynamic" {
 		t.Error("mode names broken")
+	}
+}
+
+// padState is a DeltaState for codec-path tests: a counter plus a padding
+// block of which only one byte changes per step, the shape the sparse delta
+// is built for.
+type padState struct {
+	N   int64
+	Pad []byte
+}
+
+func (s *padState) Clone() model.State {
+	c := &padState{N: s.N}
+	if s.Pad != nil {
+		c.Pad = append([]byte(nil), s.Pad...)
+	}
+	return c
+}
+
+func (s *padState) step() {
+	s.N++
+	s.Pad[int(s.N)%len(s.Pad)]++
+}
+
+func (s *padState) MarshalState(buf []byte) []byte {
+	buf = codec.AppendInt64(buf, s.N)
+	buf = codec.AppendBytes(buf, s.Pad)
+	return buf
+}
+
+func (s *padState) UnmarshalState(data []byte) (model.State, error) {
+	r := codec.NewReader(data)
+	out := &padState{N: r.Int64(), Pad: r.Bytes()}
+	return out, r.Err()
+}
+
+func (s *padState) equal(o *padState) bool {
+	if s.N != o.N || len(s.Pad) != len(o.Pad) {
+		return false
+	}
+	for i := range s.Pad {
+		if s.Pad[i] != o.Pad[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func codecConfigs() []codec.Config {
+	return []codec.Config{
+		{Mode: codec.Full},
+		{Mode: codec.Full, Compression: codec.LZ},
+		{Mode: codec.Delta, FullEvery: 4},
+		{Mode: codec.Delta, FullEvery: 4, Compression: codec.LZ},
+		{Mode: codec.Dynamic, FullEvery: 4, Compression: codec.LZ,
+			Controller: codec.ControllerConfig{Period: 16}},
+	}
+}
+
+// TestCodecQueueRestoreEquivalence drives an encoded queue and a cloned
+// reference queue through the same random save/restore/fossil sequence and
+// requires every restored state to match the reference exactly.
+func TestCodecQueueRestoreEquivalence(t *testing.T) {
+	for _, cfg := range codecConfigs() {
+		t.Run(cfg.String()+"-"+cfg.Mode.String(), func(t *testing.T) {
+			live := &padState{Pad: make([]byte, 512)}
+			ref := live.Clone().(*padState)
+			q := NewQueue(live, Snapshot{}, codec.NewState(cfg))
+			if q.Codec() == nil {
+				t.Fatal("codec path not engaged")
+			}
+			rq := NewQueue(ref, Snapshot{}, nil)
+
+			rng := model.NewRand(42)
+			now := vtime.Time(0)
+			gvt := vtime.Time(0) // restores never go below GVT, as in the kernel
+			for step := 0; step < 400; step++ {
+				switch rng.Intn(10) {
+				case 7: // rollback to a random earlier time (but not below GVT)
+					if now <= gvt+1 {
+						continue
+					}
+					at := gvt + 1 + vtime.Time(rng.Intn(int(now-gvt)))
+					s := q.RestoreBefore(at)
+					rs := rq.RestoreBefore(at)
+					if s.Time != rs.Time {
+						t.Fatalf("restore times diverge: %v vs %v", s.Time, rs.Time)
+					}
+					got, want := s.State.(*padState), rs.State.(*padState)
+					if !got.equal(want) {
+						t.Fatalf("restored state diverges at step %d (t=%v)", step, at)
+					}
+					live = got.Clone().(*padState)
+					ref = want.Clone().(*padState)
+					now = s.Time
+					if now == vtime.NegInf {
+						now = 0
+					}
+				case 8: // fossil collect somewhere behind the head
+					if now > gvt+1 {
+						g := gvt + vtime.Time(rng.Intn(int(now-gvt)))
+						if q.FossilCollect(g) != rq.FossilCollect(g) {
+							t.Fatalf("fossil counts diverge at step %d", step)
+						}
+						gvt = g
+					}
+				default: // advance and checkpoint
+					now += vtime.Time(rng.Intn(5) + 1)
+					live.step()
+					ref.step()
+					res := q.Save(live, Snapshot{Time: now})
+					rq.Save(ref, Snapshot{Time: now})
+					if res.StoredBytes <= 0 || res.RawBytes <= 0 {
+						t.Fatalf("empty save result %+v", res)
+					}
+				}
+			}
+			// Final full-chain check: restore to the oldest legal point.
+			s := q.RestoreBefore(gvt + 1)
+			rs := rq.RestoreBefore(gvt + 1)
+			if !s.State.(*padState).equal(rs.State.(*padState)) {
+				t.Fatal("oldest restore point diverges")
+			}
+		})
+	}
+}
+
+// TestCodecQueueDeltaShrinks checks the point of the exercise: sparse
+// mutations store far fewer bytes under delta encoding than full snapshots.
+func TestCodecQueueDeltaShrinks(t *testing.T) {
+	run := func(cfg codec.Config) int {
+		live := &padState{Pad: make([]byte, 4096)}
+		q := NewQueue(live, Snapshot{}, codec.NewState(cfg))
+		total := 0
+		for i := 0; i < 64; i++ {
+			live.step()
+			total += q.Save(live, Snapshot{Time: vtime.Time(i + 1)}).StoredBytes
+		}
+		return total
+	}
+	full := run(codec.Config{Mode: codec.Full})
+	delta := run(codec.Config{Mode: codec.Delta, FullEvery: 16})
+	if delta*4 > full {
+		t.Fatalf("delta encoding stored %d bytes vs %d full — expected at least 4x smaller", delta, full)
+	}
+}
+
+// TestCodecQueueFossilMidChain fossil-collects to a point inside a delta
+// chain and verifies the new oldest snapshot became self-contained.
+func TestCodecQueueFossilMidChain(t *testing.T) {
+	live := &padState{Pad: make([]byte, 256)}
+	q := NewQueue(live, Snapshot{}, codec.NewState(codec.Config{Mode: codec.Delta, FullEvery: 8}))
+	states := map[vtime.Time]*padState{}
+	for i := 1; i <= 20; i++ {
+		live.step()
+		tm := vtime.Time(i * 10)
+		q.Save(live, Snapshot{Time: tm})
+		states[tm] = live.Clone().(*padState)
+	}
+	// GVT 135 keeps t=130 (snapshot 13, mid-chain) as the new oldest.
+	if n := q.FossilCollect(135); n == 0 {
+		t.Fatal("nothing collected")
+	}
+	if q.OldestTime() != 130 {
+		t.Fatalf("OldestTime = %v", q.OldestTime())
+	}
+	s := q.RestoreBefore(135)
+	if s.Time != 130 || !s.State.(*padState).equal(states[130]) {
+		t.Fatal("mid-chain oldest snapshot did not reconstruct")
+	}
+}
+
+// TestCodecQueueFallback: a state without DeltaState must silently get the
+// cloned-checkpoint path even when a codec is configured.
+func TestCodecQueueFallback(t *testing.T) {
+	q := NewQueue(intState(3), Snapshot{}, codec.NewState(codec.Config{Mode: codec.Delta}))
+	if q.Codec() != nil {
+		t.Fatal("codec engaged for a non-DeltaState state")
+	}
+	q.save(10, 4, 1)
+	if s := q.RestoreBefore(11); s.State.(intState) != 4 {
+		t.Fatalf("fallback restore = %+v", s)
 	}
 }

@@ -93,6 +93,25 @@ type Counters struct {
 	// BalanceSteps counts load-balancing controller invocations that issued
 	// at least one migration request.
 	BalanceSteps int64
+
+	// State-codec accounting. CheckpointRawBytes is the full state encoding
+	// size summed over checkpoints; CheckpointBytes what was actually stored
+	// after delta encoding and compression (equal when the codec is off).
+	// DeltaCheckpoints counts checkpoints stored as deltas, CodecSwitches
+	// the Dynamic controller's full↔delta encoding changes.
+	CheckpointRawBytes int64
+	CheckpointBytes    int64
+	DeltaCheckpoints   int64
+	CodecSwitches      int64
+	// CapsuleRawBytes / CapsuleBytes are the analogous sums for migration
+	// capsules (recorded by the sending LP); BatchedMigrations counts
+	// objects that shared a capsule with at least one co-migrating object.
+	CapsuleRawBytes   int64
+	CapsuleBytes      int64
+	BatchedMigrations int64
+	// WireRawBytes is the pre-compression size of flushed event payloads;
+	// BytesSent holds the post-compression size actually charged to the wire.
+	WireRawBytes int64
 }
 
 // Merge adds o into c.
@@ -132,6 +151,14 @@ func (c *Counters) Merge(o *Counters) {
 	c.MigratedEvents += o.MigratedEvents
 	c.ForwardedMsgs += o.ForwardedMsgs
 	c.BalanceSteps += o.BalanceSteps
+	c.CheckpointRawBytes += o.CheckpointRawBytes
+	c.CheckpointBytes += o.CheckpointBytes
+	c.DeltaCheckpoints += o.DeltaCheckpoints
+	c.CodecSwitches += o.CodecSwitches
+	c.CapsuleRawBytes += o.CapsuleRawBytes
+	c.CapsuleBytes += o.CapsuleBytes
+	c.BatchedMigrations += o.BatchedMigrations
+	c.WireRawBytes += o.WireRawBytes
 }
 
 // HitRatio returns the overall lazy/aggressive hit ratio, or 0 when no
@@ -192,6 +219,10 @@ func (c *Counters) Report() string {
 		{"migrations", fmt.Sprintf("%d (%d events carried)", c.Migrations, c.MigratedEvents)},
 		{"forwarded msgs", fmt.Sprint(c.ForwardedMsgs)},
 		{"balance steps", fmt.Sprint(c.BalanceSteps)},
+		{"checkpoint bytes", fmt.Sprintf("%d stored / %d raw (%d deltas, %d switches)",
+			c.CheckpointBytes, c.CheckpointRawBytes, c.DeltaCheckpoints, c.CodecSwitches)},
+		{"capsule bytes", fmt.Sprintf("%d stored / %d raw (%d batched)",
+			c.CapsuleBytes, c.CapsuleRawBytes, c.BatchedMigrations)},
 		{"GVT cycles", fmt.Sprintf("%d (%d rounds, %s)", c.GVTCycles, c.GVTRounds, c.GVTTime)},
 		{"fossils collected", fmt.Sprint(c.FossilCollected)},
 	}

@@ -39,6 +39,12 @@ type RunSummary struct {
 	// TraceDropped is the number of trace events lost to ring wraparound
 	// (0 when tracing was off or the ring sufficed).
 	TraceDropped int64 `json:"trace_dropped,omitempty"`
+	// FinalPartition is the object→LP assignment when the run ended, so
+	// placement trajectories can be compared across runs. It equals the
+	// static partition unless load balancing migrated objects;
+	// wall-clock-dependent when balancing is on, hence excluded from
+	// Deterministic.
+	FinalPartition []int `json:"final_partition,omitempty"`
 }
 
 // Deterministic returns a copy of the summary stripped to the fields that
@@ -75,6 +81,10 @@ type BenchRow struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	Efficiency   float64 `json:"efficiency"`
 	Rollbacks    int64   `json:"rollbacks"`
+	// CheckpointBytes and CapsuleBytes track the codec facet's byte
+	// savings (stored sizes; omitted for experiments that predate them).
+	CheckpointBytes int64 `json:"checkpoint_bytes,omitempty"`
+	CapsuleBytes    int64 `json:"capsule_bytes,omitempty"`
 }
 
 // WriteJSON marshals v with indentation and writes it to path.

@@ -57,6 +57,13 @@ func jsonlArgs(ev Event) string {
 		active := ev.B == 1
 		return fmt.Sprintf(`"imbalance":%.3f,"active":%t,"moves":%d`,
 			float64(ev.A)/1000, active, ev.C)
+	case KindCodecSwitch:
+		to := "full"
+		if ev.A == 1 {
+			to = "delta"
+		}
+		return fmt.Sprintf(`"object":%d,"to":%q,"ratio":%.3f`,
+			ev.Object, to, float64(ev.B)/1000)
 	default:
 		return fmt.Sprintf(`"a":%d,"b":%d,"c":%d`, ev.A, ev.B, ev.C)
 	}

@@ -38,6 +38,9 @@ const (
 	KindMigration
 	// KindBalance is one load-balancing controller firing.
 	KindBalance
+	// KindCodecSwitch is a state-codec encoding change (full↔delta) on one
+	// object, decided by the codec facet's on-line controller.
+	KindCodecSwitch
 )
 
 // String names the kind as it appears in exported traces.
@@ -59,6 +62,8 @@ func (k Kind) String() string {
 		return "migration"
 	case KindBalance:
 		return "balance"
+	case KindCodecSwitch:
+		return "codec_switch"
 	default:
 		return "unknown"
 	}
@@ -301,4 +306,18 @@ func (t *LPTrace) BalanceStep(imbalancePermille int64, active bool, moves int64)
 		act = 1
 	}
 	t.record(Event{Kind: KindBalance, Object: -1, A: imbalancePermille, B: act, C: moves})
+}
+
+// CodecSwitch records a state-codec encoding change on obj: toDelta is the
+// new encoding, ratioPermille the delta/full stored-bytes ratio (×1000) that
+// triggered it.
+func (t *LPTrace) CodecSwitch(obj int32, toDelta bool, ratioPermille int64) {
+	if t == nil {
+		return
+	}
+	d := int64(0)
+	if toDelta {
+		d = 1
+	}
+	t.record(Event{Kind: KindCodecSwitch, Object: obj, A: d, B: ratioPermille})
 }

@@ -1,0 +1,164 @@
+package gowarp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file parses the compact facet-spec strings used by command-line
+// front ends (twsim's -balance and -codec flags): one string per facet,
+// "mode[,key=value]...", so a whole controller configuration travels in a
+// single flag instead of a family of them.
+
+// ParseBalanceSpec parses a load-balance facet spec:
+//
+//	off                        static placement (the default)
+//	dynamic                    on-line balancing, default controller tuning
+//	dynamic,period=4,high=1.2,low=1.1,moves=2,min-sample=32
+//
+// Keys: period (GVT cycles between firings), high/low (dead-zone bounds on
+// the imbalance metric), moves (max migrations per firing), min-sample
+// (minimum events observed before acting).
+func ParseBalanceSpec(spec string) (BalanceConfig, error) {
+	var cfg BalanceConfig
+	parts := strings.Split(spec, ",")
+	switch parts[0] {
+	case "", "off", "static":
+		if len(parts) > 1 {
+			return cfg, fmt.Errorf("balance spec %q: parameters need mode dynamic", spec)
+		}
+		return cfg, nil
+	case "dynamic", "on":
+		cfg.Mode = BalanceDynamic
+	default:
+		return cfg, fmt.Errorf("balance spec %q: unknown mode %q (off or dynamic)", spec, parts[0])
+	}
+	for _, p := range parts[1:] {
+		key, val, err := splitSpecParam(spec, p)
+		if err != nil {
+			return cfg, err
+		}
+		switch key {
+		case "period":
+			cfg.Period, err = parseSpecInt(spec, key, val)
+		case "high":
+			cfg.HighWater, err = parseSpecFloat(spec, key, val)
+		case "low":
+			cfg.LowWater, err = parseSpecFloat(spec, key, val)
+		case "moves":
+			cfg.MaxMoves, err = parseSpecInt(spec, key, val)
+		case "min-sample":
+			var n int
+			n, err = parseSpecInt(spec, key, val)
+			cfg.MinSample = int64(n)
+		default:
+			return cfg, fmt.Errorf("balance spec %q: unknown key %q", spec, key)
+		}
+		if err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// ParseCodecSpec parses a state-codec facet spec:
+//
+//	off                        cloned full checkpoints (the default)
+//	lz                         full encodings, LZ-compressed
+//	full[,lz]                  marshalled full checkpoints
+//	delta[,lz][,full-every=N]  incremental checkpoints, anchors every N
+//	dynamic[,lz][,full-every=N][,period=N][,low=F][,high=F]
+//	                           on-line full<->delta controller
+//
+// Keys: full-every (saves between full anchors), period (saves per
+// controller window), low/high (dead-zone bounds on the delta/full
+// stored-bytes ratio). "lz" turns on compression of checkpoints, migration
+// capsules and aggregated wire payloads.
+func ParseCodecSpec(spec string) (CodecConfig, error) {
+	var cfg CodecConfig
+	parts := strings.Split(spec, ",")
+	switch parts[0] {
+	case "", "off":
+		if len(parts) > 1 {
+			return cfg, fmt.Errorf("codec spec %q: parameters need a codec mode", spec)
+		}
+		return cfg, nil
+	case "lz":
+		cfg.Mode, cfg.Compression = CodecFull, LZCompression
+		if len(parts) > 1 {
+			return cfg, fmt.Errorf("codec spec %q: parameters need an explicit mode", spec)
+		}
+		return cfg, nil
+	case "full":
+		cfg.Mode = CodecFull
+	case "delta":
+		cfg.Mode = CodecDelta
+	case "dynamic":
+		cfg.Mode = CodecDynamic
+	default:
+		return cfg, fmt.Errorf("codec spec %q: unknown mode %q (off, lz, full, delta or dynamic)", spec, parts[0])
+	}
+	for _, p := range parts[1:] {
+		if p == "lz" {
+			cfg.Compression = LZCompression
+			continue
+		}
+		key, val, err := splitSpecParam(spec, p)
+		if err != nil {
+			return cfg, err
+		}
+		switch key {
+		case "full-every":
+			if cfg.Mode == CodecFull {
+				return cfg, fmt.Errorf("codec spec %q: full-every needs mode delta or dynamic", spec)
+			}
+			cfg.FullEvery, err = parseSpecInt(spec, key, val)
+		case "period":
+			if cfg.Mode != CodecDynamic {
+				return cfg, fmt.Errorf("codec spec %q: %s needs mode dynamic", spec, key)
+			}
+			cfg.Controller.Period, err = parseSpecInt(spec, key, val)
+		case "low":
+			if cfg.Mode != CodecDynamic {
+				return cfg, fmt.Errorf("codec spec %q: %s needs mode dynamic", spec, key)
+			}
+			cfg.Controller.LowRatio, err = parseSpecFloat(spec, key, val)
+		case "high":
+			if cfg.Mode != CodecDynamic {
+				return cfg, fmt.Errorf("codec spec %q: %s needs mode dynamic", spec, key)
+			}
+			cfg.Controller.HighRatio, err = parseSpecFloat(spec, key, val)
+		default:
+			return cfg, fmt.Errorf("codec spec %q: unknown key %q", spec, key)
+		}
+		if err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+func splitSpecParam(spec, p string) (key, val string, err error) {
+	key, val, ok := strings.Cut(p, "=")
+	if !ok || key == "" || val == "" {
+		return "", "", fmt.Errorf("spec %q: malformed parameter %q (want key=value)", spec, p)
+	}
+	return key, val, nil
+}
+
+func parseSpecInt(spec, key, val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("spec %q: %s wants a positive integer, got %q", spec, key, val)
+	}
+	return n, nil
+}
+
+func parseSpecFloat(spec, key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || f <= 0 {
+		return 0, fmt.Errorf("spec %q: %s wants a positive number, got %q", spec, key, val)
+	}
+	return f, nil
+}

@@ -1,0 +1,157 @@
+package gowarp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseBalanceSpec(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want BalanceConfig
+	}{
+		{"off", BalanceConfig{}},
+		{"", BalanceConfig{}},
+		{"static", BalanceConfig{}},
+		{"dynamic", BalanceConfig{Mode: BalanceDynamic}},
+		{"on", BalanceConfig{Mode: BalanceDynamic}},
+		{
+			"dynamic,period=4,high=1.2,low=1.1,moves=2,min-sample=32",
+			BalanceConfig{Mode: BalanceDynamic, Period: 4, HighWater: 1.2, LowWater: 1.1, MaxMoves: 2, MinSample: 32},
+		},
+	} {
+		got, err := ParseBalanceSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseBalanceSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseBalanceSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestParseBalanceSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",
+		"off,period=4",
+		"dynamic,period",
+		"dynamic,period=0",
+		"dynamic,high=-1",
+		"dynamic,frobnicate=2",
+	} {
+		if _, err := ParseBalanceSpec(spec); err == nil {
+			t.Errorf("ParseBalanceSpec(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestParseCodecSpec(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want CodecConfig
+	}{
+		{"off", CodecConfig{}},
+		{"", CodecConfig{}},
+		{"lz", CodecConfig{Mode: CodecFull, Compression: LZCompression}},
+		{"full", CodecConfig{Mode: CodecFull}},
+		{"full,lz", CodecConfig{Mode: CodecFull, Compression: LZCompression}},
+		{"delta", CodecConfig{Mode: CodecDelta}},
+		{"delta,lz,full-every=8", CodecConfig{Mode: CodecDelta, Compression: LZCompression, FullEvery: 8}},
+		{
+			"dynamic,lz,full-every=4,period=32,low=0.5,high=0.8",
+			CodecConfig{
+				Mode: CodecDynamic, Compression: LZCompression, FullEvery: 4,
+				Controller: CodecControllerConfig{Period: 32, LowRatio: 0.5, HighRatio: 0.8},
+			},
+		},
+	} {
+		got, err := ParseCodecSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseCodecSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseCodecSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestParseCodecSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",
+		"off,lz",
+		"lz,full-every=4",
+		"full,full-every=4",
+		"full,period=8",
+		"delta,period=8",
+		"delta,full-every=nope",
+		"dynamic,low=0",
+		"dynamic,what=1",
+	} {
+		if _, err := ParseCodecSpec(spec); err == nil {
+			t.Errorf("ParseCodecSpec(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestConfigBuilder(t *testing.T) {
+	tr := NewTracer(16)
+	cfg := NewConfig(100_000).
+		WithCheckpoint(DynamicCheckpointing, 4).
+		WithCancellation(DynamicCancellation).
+		WithAggregation(SAAW, 50*time.Microsecond).
+		WithBalance(BalanceDynamic).
+		WithCodec(CodecDynamic, LZCompression).
+		WithGVTPeriod(time.Millisecond).
+		WithOptimismWindow(500).
+		WithPendingSet(SplayPendingSet).
+		WithTracer(tr).
+		WithTimeline().
+		Build()
+
+	if cfg.EndTime != 100_000 {
+		t.Errorf("EndTime = %v", cfg.EndTime)
+	}
+	if cfg.Checkpoint.Mode != DynamicCheckpointing || cfg.Checkpoint.Interval != 4 {
+		t.Errorf("Checkpoint = %+v", cfg.Checkpoint)
+	}
+	if cfg.Cancellation.Mode != DynamicCancellation {
+		t.Errorf("Cancellation = %+v", cfg.Cancellation)
+	}
+	if cfg.Aggregation.Policy != SAAW || cfg.Aggregation.Window != 50*time.Microsecond {
+		t.Errorf("Aggregation = %+v", cfg.Aggregation)
+	}
+	if !cfg.Balance.Dynamic() {
+		t.Errorf("Balance = %+v", cfg.Balance)
+	}
+	if cfg.Codec.Mode != CodecDynamic || cfg.Codec.Compression != LZCompression {
+		t.Errorf("Codec = %+v", cfg.Codec)
+	}
+	if cfg.OptimismWindow != 500 || cfg.PendingSet != SplayPendingSet {
+		t.Errorf("kernel knobs = %+v %v", cfg.OptimismWindow, cfg.PendingSet)
+	}
+	if cfg.Tracer != tr || !cfg.Timeline {
+		t.Errorf("tracer/timeline not threaded")
+	}
+
+	// The builder's config must actually run.
+	m := NewPHOLD(PHOLDConfig{Objects: 8, LPs: 2, StatePadding: 64})
+	res, err := Run(m, NewConfig(2000).WithCodec(CodecDelta, LZCompression).Build())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Stats.EventsCommitted == 0 {
+		t.Fatalf("no events committed")
+	}
+	if res.Stats.CheckpointBytes == 0 || res.Stats.CheckpointRawBytes == 0 {
+		t.Fatalf("codec bytes not accounted: %+v", res.Stats)
+	}
+	if res.Stats.CheckpointBytes >= res.Stats.CheckpointRawBytes {
+		t.Errorf("delta+lz did not shrink checkpoints: stored %d raw %d",
+			res.Stats.CheckpointBytes, res.Stats.CheckpointRawBytes)
+	}
+	if len(res.FinalPartition) != 8 {
+		t.Errorf("FinalPartition = %v", res.FinalPartition)
+	}
+}
