@@ -1,0 +1,121 @@
+// Command benchdiff compares two BENCH_*.json artifacts produced by
+// `twbench -json` and fails (exit 1) when the current results regress the
+// baseline beyond the configured thresholds. CI runs it against the recorded
+// baselines in bench/ after every quick benchmark leg.
+//
+// Rows are matched by (series, x). Two metrics are checked per row:
+//
+//   - seconds: wall-clock execution time. Host-dependent, so the threshold
+//     should carry slack when the baseline was recorded on different
+//     hardware (CI widens it; see .github/workflows/ci.yml).
+//   - allocs_per_event: heap allocations per committed event. Effectively
+//     host-independent, so the threshold stays strict. Rows missing the
+//     metric on either side (older artifacts) are skipped for it.
+//
+// Usage:
+//
+//	benchdiff -baseline bench/BENCH_rates.json -current bench-out/BENCH_rates.json
+//	benchdiff -baseline ... -current ... -max-seconds-regress 1.0 -max-allocs-regress 0.2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gowarp/internal/telemetry"
+)
+
+func load(path string) (telemetry.BenchResult, error) {
+	var r telemetry.BenchResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+type rowKey struct {
+	series string
+	x      float64
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline BENCH_*.json (required)")
+		currentPath  = flag.String("current", "", "current BENCH_*.json (required)")
+		maxSeconds   = flag.Float64("max-seconds-regress", 0.20, "maximum tolerated relative wall-clock regression (0.20 = +20%)")
+		maxAllocs    = flag.Float64("max-allocs-regress", 0.20, "maximum tolerated relative allocs-per-event regression")
+		minSeconds   = flag.Float64("min-seconds", 0.05, "noise floor: rows whose baseline seconds fall below this are not checked for wall-clock regressions")
+		minAllocs    = flag.Float64("min-allocs", 0.05, "noise floor: rows whose baseline allocs/event fall below this are not checked for allocation regressions")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	baseRows := make(map[rowKey]telemetry.BenchRow, len(base.Rows))
+	for _, r := range base.Rows {
+		baseRows[rowKey{r.Series, r.X}] = r
+	}
+
+	fmt.Printf("benchdiff: %s vs baseline %s\n", *currentPath, *baselinePath)
+	fmt.Printf("%-14s %-8s %22s %26s\n", "series", "x", "seconds (base→cur)", "allocs/event (base→cur)")
+	regressions := 0
+	matched := 0
+	for _, c := range cur.Rows {
+		b, ok := baseRows[rowKey{c.Series, c.X}]
+		if !ok {
+			fmt.Printf("%-14s %-8g NEW (no baseline row)\n", c.Series, c.X)
+			continue
+		}
+		matched++
+		secNote, allocNote := "", ""
+		if b.Seconds >= *minSeconds {
+			if rel := c.Seconds/b.Seconds - 1; rel > *maxSeconds {
+				secNote = fmt.Sprintf("  REGRESSION +%.0f%% (limit +%.0f%%)", rel*100, *maxSeconds*100)
+				regressions++
+			}
+		}
+		allocCol := "n/a"
+		if b.AllocsPerEvent > 0 && c.AllocsPerEvent > 0 {
+			allocCol = fmt.Sprintf("%.2f → %.2f", b.AllocsPerEvent, c.AllocsPerEvent)
+			if b.AllocsPerEvent >= *minAllocs {
+				if rel := c.AllocsPerEvent/b.AllocsPerEvent - 1; rel > *maxAllocs {
+					allocNote = fmt.Sprintf("  REGRESSION +%.0f%% (limit +%.0f%%)", rel*100, *maxAllocs*100)
+					regressions++
+				}
+			}
+		}
+		fmt.Printf("%-14s %-8g %22s %26s%s%s\n",
+			c.Series, c.X,
+			fmt.Sprintf("%.3f → %.3f", b.Seconds, c.Seconds),
+			allocCol, secNote, allocNote)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no rows matched between baseline and current — wrong files?")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond thresholds\n", regressions)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d row(s) within thresholds\n", matched)
+}

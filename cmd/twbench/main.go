@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -37,6 +38,8 @@ func benchResult(fig exp.Figure) telemetry.BenchResult {
 				Rollbacks:       r.Stats.Rollbacks,
 				CheckpointBytes: r.Stats.CheckpointBytes,
 				CapsuleBytes:    r.Stats.CapsuleBytes,
+				AllocsPerEvent:  r.AllocsPerEvent,
+				BytesPerEvent:   r.BytesPerEvent,
 			})
 		}
 	}
@@ -52,8 +55,42 @@ func main() {
 		details = flag.Bool("details", false, "print per-point counter details")
 		csvDir  = flag.String("csv", "", "also write <dir>/<figure>.csv per experiment")
 		jsonDir = flag.String("json", "", "also write <dir>/BENCH_<figure>.json machine-readable results per experiment")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "twbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "twbench: cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "twbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			// The allocs profile records every allocation since process
+			// start, which is what a hot-path hunt wants (the default
+			// heap profile only shows live objects).
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "twbench: mem profile: %v\n", err)
+			}
+		}()
+	}
 
 	tb := exp.Default()
 	tb.Repeat = *repeat

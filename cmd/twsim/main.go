@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -71,10 +72,43 @@ func main() {
 		traceCap    = flag.Int("trace-cap", 0, "per-LP trace ring capacity in events (0 = default; oldest events are overwritten when full)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics on this address while the run executes (/metrics Prometheus text, /debug/vars expvar)")
 		jsonOut     = flag.String("json-out", "", "write a machine-readable run summary JSON to this file")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile (taken at exit) to this file")
 	)
 	balanceSpec := &specValue{spec: "off"}
 	flag.Var(balanceSpec, "balance", "load-balance facet spec: off, dynamic, or dynamic,period=N,high=F,low=F,moves=N,min-sample=N (bare -balance = dynamic)")
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "twsim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			// "allocs" records cumulative allocations since process start
+			// (the default heap profile shows only live objects), which is
+			// what a hot-path allocation hunt wants.
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "twsim: mem profile: %v\n", err)
+			}
+		}()
+	}
 
 	endTime := gowarp.VTime(*end)
 	if endTime == 0 {

@@ -15,6 +15,7 @@ package logic
 import (
 	"fmt"
 
+	"gowarp/internal/codec"
 	"gowarp/internal/event"
 	"gowarp/internal/model"
 	"gowarp/internal/vtime"
@@ -111,14 +112,6 @@ type Config struct {
 // event kind for signal changes; the payload is [pin, value].
 const kindSignal uint32 = 1
 
-func encodeSignal(pin int, v bool) []byte {
-	b := byte(0)
-	if v {
-		b = 1
-	}
-	return []byte{byte(pin), b}
-}
-
 func decodeSignal(p []byte) (pin int, v bool) {
 	return int(p[0]), p[1] != 0
 }
@@ -145,7 +138,73 @@ func (s *gateState) Clone() model.State {
 	return &c
 }
 
+// CopyInto implements model.Reusable: refill dst, a retired checkpoint of the
+// same type, reusing its Pad backing array.
+func (s *gateState) CopyInto(dst model.State) model.State {
+	d, ok := dst.(*gateState)
+	if !ok {
+		return s.Clone()
+	}
+	pad := d.Pad
+	*d = *s
+	if s.Pad != nil {
+		d.Pad = append(pad[:0], s.Pad...)
+	}
+	return d
+}
+
 func (s *gateState) StateBytes() int { return 64 + len(s.Pad) }
+
+// Bit positions of the boolean fields inside the packed flags word of the
+// MarshalState encoding: In[0..3] occupy bits 0-3.
+const (
+	flagOut = 1 << (4 + iota)
+	flagOutInit
+	flagStored
+)
+
+// MarshalState implements codec.DeltaState: a deterministic fixed-layout
+// encoding so successive checkpoints stay positionally aligned for the
+// sparse delta. The seven booleans pack into one flags word.
+func (s *gateState) MarshalState(buf []byte) []byte {
+	buf = codec.AppendUint64(buf, s.Rng.State())
+	var flags uint64
+	for i, v := range s.In {
+		if v {
+			flags |= 1 << i
+		}
+	}
+	if s.Out {
+		flags |= flagOut
+	}
+	if s.OutInit {
+		flags |= flagOutInit
+	}
+	if s.Stored {
+		flags |= flagStored
+	}
+	buf = codec.AppendUint64(buf, flags)
+	buf = codec.AppendInt64(buf, s.Ticks)
+	buf = codec.AppendUint64(buf, s.Fingerprint)
+	return codec.AppendBytes(buf, s.Pad)
+}
+
+// UnmarshalState implements codec.DeltaState.
+func (s *gateState) UnmarshalState(data []byte) (model.State, error) {
+	r := codec.NewReader(data)
+	out := &gateState{Rng: model.RandFromState(r.Uint64())}
+	flags := r.Uint64()
+	for i := range out.In {
+		out.In[i] = flags&(1<<i) != 0
+	}
+	out.Out = flags&flagOut != 0
+	out.OutInit = flags&flagOutInit != 0
+	out.Stored = flags&flagStored != 0
+	out.Ticks = r.Int64()
+	out.Fingerprint = r.Uint64()
+	out.Pad = r.Bytes()
+	return out, r.Err()
+}
 
 // gate is the simulation object for one netlist element.
 type gate struct {
@@ -155,6 +214,20 @@ type gate struct {
 	cfg  Config
 	// fanout resolved to object IDs at model build time.
 	fanout []Pin
+	// buf is the reusable signal-payload scratch; Context.Send copies the
+	// payload before returning, so one buffer per gate (objects execute on
+	// a single goroutine) replaces a per-send allocation.
+	buf [2]byte
+}
+
+// signal encodes a [pin, value] payload into the gate's scratch buffer.
+func (o *gate) signal(pin int, v bool) []byte {
+	o.buf[0] = byte(pin)
+	o.buf[1] = 0
+	if v {
+		o.buf[1] = 1
+	}
+	return o.buf[:]
 }
 
 func (o *gate) Name() string { return o.name }
@@ -170,7 +243,7 @@ func (o *gate) InitialState() model.State {
 func (o *gate) Init(ctx model.Context, st model.State) {
 	if o.g.Kind == Stimulus || o.g.Kind == Clock {
 		// First tick after one period.
-		ctx.Send(ctx.Self(), o.g.Period, kindSignal, encodeSignal(0, false))
+		ctx.Send(ctx.Self(), o.g.Period, kindSignal, o.signal(0, false))
 	}
 }
 
@@ -216,7 +289,7 @@ func (o *gate) drive(ctx model.Context, s *gateState, v bool) {
 	s.Out = v
 	s.OutInit = true
 	for _, dst := range o.fanout {
-		ctx.Send(event.ObjectID(dst.Gate), o.g.Delay, kindSignal, encodeSignal(dst.Pin, v))
+		ctx.Send(event.ObjectID(dst.Gate), o.g.Delay, kindSignal, o.signal(dst.Pin, v))
 	}
 }
 
@@ -233,7 +306,7 @@ func (o *gate) Execute(ctx model.Context, st model.State, ev *event.Event) {
 		s.Ticks++
 		o.drive(ctx, s, bit)
 		if o.cfg.Ticks == 0 || s.Ticks < int64(o.cfg.Ticks) {
-			ctx.Send(ctx.Self(), o.g.Period, kindSignal, encodeSignal(0, false))
+			ctx.Send(ctx.Self(), o.g.Period, kindSignal, o.signal(0, false))
 		}
 	case DFF:
 		// Pin 0 = D, pin 1 = clock; latch on the clock's rising edge.

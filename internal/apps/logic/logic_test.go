@@ -1,12 +1,14 @@
 package logic
 
 import (
+	"bytes"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"gowarp/internal/cancel"
+	"gowarp/internal/codec"
 	"gowarp/internal/core"
 	"gowarp/internal/model"
 	"gowarp/internal/vtime"
@@ -71,7 +73,8 @@ func TestGateEval(t *testing.T) {
 func TestSignalCodec(t *testing.T) {
 	for pin := 0; pin < 4; pin++ {
 		for _, v := range []bool{false, true} {
-			gotPin, gotV := decodeSignal(encodeSignal(pin, v))
+			g := &gate{}
+			gotPin, gotV := decodeSignal(g.signal(pin, v))
 			if gotPin != pin || gotV != v {
 				t.Fatalf("round trip (%d,%v) -> (%d,%v)", pin, v, gotPin, gotV)
 			}
@@ -165,5 +168,68 @@ func TestGateKindStrings(t *testing.T) {
 		if k.String() == "?" {
 			t.Errorf("kind %d has no name", k)
 		}
+	}
+}
+
+// TestStateRoundTrip exercises the codec.DeltaState contract on gateState:
+// deterministic re-encoding, full-fidelity round trip (including the packed
+// boolean flags word), and no storage sharing between decoded state and
+// encoding.
+func TestStateRoundTrip(t *testing.T) {
+	var _ codec.DeltaState = (*gateState)(nil)
+	full := &gateState{
+		Rng:         model.NewRand(41),
+		In:          [4]bool{true, false, true, true},
+		Out:         true,
+		OutInit:     true,
+		Stored:      true,
+		Ticks:       12345,
+		Fingerprint: 0xDEADBEEFCAFE,
+		Pad:         []byte{9, 8, 7},
+	}
+	full.Rng.Float64() // advance the stream so its position round-trips too
+	for i, s := range []*gateState{{Rng: model.NewRand(1)}, full} {
+		enc := s.MarshalState(nil)
+		got, err := s.UnmarshalState(enc)
+		if err != nil {
+			t.Fatalf("state %d: unmarshal: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Errorf("state %d: round trip mismatch: got %+v want %+v", i, got, s)
+		}
+		re := got.(*gateState).MarshalState(nil)
+		if !bytes.Equal(re, enc) {
+			t.Errorf("state %d: re-encoding differs (non-deterministic layout)", i)
+		}
+		if p := got.(*gateState).Pad; len(p) > 0 {
+			p[0] ^= 0xFF
+			if !bytes.Equal(s.MarshalState(nil), enc) {
+				t.Errorf("state %d: mutating decoded Pad changed the source state", i)
+			}
+		}
+	}
+	// Every single-bit flip of the flags must land on exactly one boolean.
+	for bit := 0; bit < 7; bit++ {
+		s := &gateState{Rng: model.NewRand(2)}
+		switch bit {
+		case 0, 1, 2, 3:
+			s.In[bit] = true
+		case 4:
+			s.Out = true
+		case 5:
+			s.OutInit = true
+		case 6:
+			s.Stored = true
+		}
+		got, err := s.UnmarshalState(s.MarshalState(nil))
+		if err != nil {
+			t.Fatalf("flag bit %d: %v", bit, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Errorf("flag bit %d: round trip mismatch", bit)
+		}
+	}
+	if _, err := full.UnmarshalState(full.MarshalState(nil)[:5]); err == nil {
+		t.Error("truncated encoding decoded without error")
 	}
 }

@@ -83,6 +83,21 @@ func (s *state) Clone() model.State {
 	return &c
 }
 
+// CopyInto implements model.Reusable: refill dst, a retired checkpoint of the
+// same type, reusing its Pad backing array.
+func (s *state) CopyInto(dst model.State) model.State {
+	d, ok := dst.(*state)
+	if !ok {
+		return s.Clone()
+	}
+	pad := d.Pad
+	*d = *s
+	if s.Pad != nil {
+		d.Pad = append(pad[:0], s.Pad...)
+	}
+	return d
+}
+
 // StateBytes reports the approximate saved size, for statistics.
 func (s *state) StateBytes() int { return 32 + len(s.Pad) }
 
@@ -115,6 +130,10 @@ type object struct {
 	// lpMates lists the object IDs sharing this object's LP (for the
 	// locality draw); others holds the rest.
 	lpMates, others []event.ObjectID
+	// buf is the reusable payload scratch: Context.Send copies the payload
+	// before returning, so one buffer per object (objects execute on a
+	// single goroutine) replaces a per-send allocation.
+	buf [8]byte
 }
 
 // Name implements model.Object.
@@ -158,9 +177,8 @@ func (o *object) launch(ctx model.Context, s *state, hops uint64) {
 	}
 	dest = pool[s.Rng.Intn(len(pool))]
 	delay := vtime.Time(o.cfg.MinDelay - 1 + s.Rng.Exp(o.cfg.MeanDelay))
-	payload := make([]byte, 8)
-	binary.LittleEndian.PutUint64(payload, hops)
-	ctx.Send(dest, delay, 0, payload)
+	binary.LittleEndian.PutUint64(o.buf[:], hops)
+	ctx.Send(dest, delay, 0, o.buf[:])
 }
 
 // New builds a PHOLD model with a block partition of objects onto LPs.

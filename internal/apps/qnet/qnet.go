@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"gowarp/internal/codec"
 	"gowarp/internal/event"
 	"gowarp/internal/model"
 	"gowarp/internal/vtime"
@@ -68,12 +69,6 @@ func (c Config) withDefaults() Config {
 // Event kind: a job arrival. Payload: job id (4 bytes).
 const kindArrival uint32 = 1
 
-func encodeJob(id uint32) []byte {
-	p := make([]byte, 4)
-	binary.LittleEndian.PutUint32(p, id)
-	return p
-}
-
 func decodeJob(p []byte) uint32 { return binary.LittleEndian.Uint32(p) }
 
 // stationState is one station's mutable state. FCFS with a single server is
@@ -98,7 +93,48 @@ func (s *stationState) Clone() model.State {
 	return &c
 }
 
+// CopyInto implements model.Reusable: refill dst, a retired checkpoint of the
+// same type, reusing its Pad backing array.
+func (s *stationState) CopyInto(dst model.State) model.State {
+	d, ok := dst.(*stationState)
+	if !ok {
+		return s.Clone()
+	}
+	pad := d.Pad
+	*d = *s
+	if s.Pad != nil {
+		d.Pad = append(pad[:0], s.Pad...)
+	}
+	return d
+}
+
 func (s *stationState) StateBytes() int { return 56 + len(s.Pad) }
+
+// MarshalState implements codec.DeltaState: a deterministic fixed-layout
+// encoding so successive checkpoints stay positionally aligned for the
+// sparse delta.
+func (s *stationState) MarshalState(buf []byte) []byte {
+	buf = codec.AppendUint64(buf, s.Rng.State())
+	buf = codec.AppendInt64(buf, int64(s.BusyUntil))
+	buf = codec.AppendInt64(buf, s.Arrivals)
+	buf = codec.AppendInt64(buf, s.Busy)
+	buf = codec.AppendInt64(buf, s.WaitSum)
+	return codec.AppendBytes(buf, s.Pad)
+}
+
+// UnmarshalState implements codec.DeltaState.
+func (s *stationState) UnmarshalState(data []byte) (model.State, error) {
+	r := codec.NewReader(data)
+	out := &stationState{
+		Rng:       model.RandFromState(r.Uint64()),
+		BusyUntil: vtime.Time(r.Int64()),
+		Arrivals:  r.Int64(),
+		Busy:      r.Int64(),
+		WaitSum:   r.Int64(),
+		Pad:       r.Bytes(),
+	}
+	return out, r.Err()
+}
 
 type station struct {
 	name string
@@ -106,6 +142,15 @@ type station struct {
 	cfg  Config
 	// lpMates / others support the locality draw, as in PHOLD.
 	lpMates, others []event.ObjectID
+	// buf is the reusable arrival-payload scratch; Context.Send copies the
+	// payload before returning.
+	buf [4]byte
+}
+
+// job encodes a job id into the station's scratch payload buffer.
+func (o *station) job(id uint32) []byte {
+	binary.LittleEndian.PutUint32(o.buf[:], id)
+	return o.buf[:]
 }
 
 func (o *station) Name() string { return o.name }
@@ -130,7 +175,7 @@ func (o *station) Init(ctx model.Context, st model.State) {
 		id := uint32(o.self*o.cfg.Jobs + j)
 		// Stagger initial arrivals so the servers do not all start in
 		// lockstep.
-		ctx.Send(ctx.Self(), vtime.Time(1+s.Rng.Intn(int(o.cfg.ServiceMean))), kindArrival, encodeJob(id))
+		ctx.Send(ctx.Self(), vtime.Time(1+s.Rng.Intn(int(o.cfg.ServiceMean))), kindArrival, o.job(id))
 	}
 }
 

@@ -1,12 +1,15 @@
 package qnet
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 	"time"
 
 	"gowarp/internal/cancel"
+	"gowarp/internal/codec"
 	"gowarp/internal/core"
+	"gowarp/internal/model"
 	"gowarp/internal/vtime"
 )
 
@@ -127,5 +130,46 @@ func TestDefaults(t *testing.T) {
 	}
 	if err := New(Config{}).Validate(); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestStateRoundTrip exercises the codec.DeltaState contract: the encoding
+// is deterministic (re-encoding an unmarshaled state reproduces the bytes),
+// the round trip preserves every field, and the decoded state shares no
+// storage with the encoding.
+func TestStateRoundTrip(t *testing.T) {
+	var _ codec.DeltaState = (*stationState)(nil)
+	states := []*stationState{
+		{Rng: model.NewRand(7)},
+		{Rng: model.NewRand(99), BusyUntil: 1234, Arrivals: 17, Busy: 420, WaitSum: -3, Pad: []byte{1, 2, 3, 4}},
+	}
+	// Burn some RNG draws so the stream position is part of the state.
+	states[1].Rng.Float64()
+	states[1].Rng.Intn(10)
+	for i, s := range states {
+		enc := s.MarshalState(nil)
+		got, err := s.UnmarshalState(enc)
+		if err != nil {
+			t.Fatalf("state %d: unmarshal: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Errorf("state %d: round trip mismatch: got %+v want %+v", i, got, s)
+		}
+		re := got.(*stationState).MarshalState(nil)
+		if !bytes.Equal(re, enc) {
+			t.Errorf("state %d: re-encoding differs (non-deterministic layout)", i)
+		}
+		// The decoded Pad must be a copy, not an alias of the encoding.
+		if p := got.(*stationState).Pad; len(p) > 0 {
+			p[0] ^= 0xFF
+			if !bytes.Equal(s.MarshalState(nil), enc) {
+				t.Errorf("state %d: mutating decoded Pad changed the source state", i)
+			}
+		}
+	}
+	// Truncated input must error, not panic.
+	enc := states[1].MarshalState(nil)
+	if _, err := states[1].UnmarshalState(enc[:len(enc)-2]); err == nil {
+		t.Error("truncated encoding decoded without error")
 	}
 }

@@ -119,15 +119,21 @@ func (c Config) withDefaults() Config {
 }
 
 // Sub-request payload layout: source(4) seq(4) cyl(4) sector(2) sub(2).
-func encodeSub(src event.ObjectID, seq, cyl uint32, sector, sub uint16) []byte {
-	p := make([]byte, 16)
+func putSub(p []byte, src event.ObjectID, seq, cyl uint32, sector, sub uint16) {
 	binary.LittleEndian.PutUint32(p[0:], uint32(src))
 	binary.LittleEndian.PutUint32(p[4:], seq)
 	binary.LittleEndian.PutUint32(p[8:], cyl)
 	binary.LittleEndian.PutUint16(p[12:], sector)
 	binary.LittleEndian.PutUint16(p[14:], sub)
+}
+
+func encodeSub(src event.ObjectID, seq, cyl uint32, sector, sub uint16) []byte {
+	p := make([]byte, subBytes)
+	putSub(p, src, seq, cyl, sector, sub)
 	return p
 }
+
+const subBytes = 16
 
 func decodeSub(p []byte) (src event.ObjectID, seq, cyl uint32, sector, sub uint16) {
 	return event.ObjectID(binary.LittleEndian.Uint32(p[0:])),
@@ -174,6 +180,38 @@ func (s *sourceState) Clone() model.State {
 		c.Pad = append([]byte(nil), s.Pad...)
 	}
 	return &c
+}
+
+// CopyInto implements model.Reusable: refill dst, a retired checkpoint of the
+// same type, reusing its map and Pad storage. Clone always materializes both
+// maps, so the refilled maps stay non-nil like a fresh clone's.
+func (s *sourceState) CopyInto(dst model.State) model.State {
+	d, ok := dst.(*sourceState)
+	if !ok {
+		return s.Clone()
+	}
+	subs, times, pad := d.PendingSubs, d.IssueTimes, d.Pad
+	*d = *s
+	if subs == nil {
+		subs = make(map[uint32]int, len(s.PendingSubs))
+	}
+	clear(subs)
+	for k, v := range s.PendingSubs {
+		subs[k] = v
+	}
+	d.PendingSubs = subs
+	if times == nil {
+		times = make(map[uint32]vtime.Time, len(s.IssueTimes))
+	}
+	clear(times)
+	for k, v := range s.IssueTimes {
+		times[k] = v
+	}
+	d.IssueTimes = times
+	if s.Pad != nil {
+		d.Pad = append(pad[:0], s.Pad...)
+	}
+	return d
 }
 
 func (s *sourceState) StateBytes() int {
@@ -243,6 +281,15 @@ type source struct {
 	fork event.ObjectID
 	cfg  Config
 	seed uint64
+	// buf is the payload scratch buffer; the kernel copies payloads during
+	// Send, so it is reusable immediately after each call.
+	buf [subBytes]byte
+}
+
+// sub encodes a sub-request into the object's scratch buffer.
+func (o *source) sub(src event.ObjectID, seq, cyl uint32, sector, sub uint16) []byte {
+	putSub(o.buf[:], src, seq, cyl, sector, sub)
+	return o.buf[:]
 }
 
 func (o *source) Name() string { return o.name }
@@ -278,7 +325,7 @@ func (o *source) issue(ctx model.Context, s *sourceState) {
 	s.Issued++
 	s.PendingSubs[seq] = o.cfg.StripeWidth
 	s.IssueTimes[seq] = ctx.Now().Add(delay)
-	ctx.Send(o.fork, delay, KindRequest, encodeSub(ctx.Self(), seq, cyl, sector, 0))
+	ctx.Send(o.fork, delay, KindRequest, o.sub(ctx.Self(), seq, cyl, sector, 0))
 }
 
 func (o *source) Execute(ctx model.Context, st model.State, ev *event.Event) {
@@ -323,6 +370,20 @@ func (s *forkState) Clone() model.State {
 	return &c
 }
 
+// CopyInto implements model.Reusable (see sourceState.CopyInto).
+func (s *forkState) CopyInto(dst model.State) model.State {
+	d, ok := dst.(*forkState)
+	if !ok {
+		return s.Clone()
+	}
+	pad := d.Pad
+	*d = *s
+	if s.Pad != nil {
+		d.Pad = append(pad[:0], s.Pad...)
+	}
+	return d
+}
+
 func (s *forkState) StateBytes() int { return 24 + len(s.Pad) }
 
 // MarshalState implements codec.DeltaState.
@@ -343,6 +404,13 @@ type fork struct {
 	name  string
 	disks []event.ObjectID
 	cfg   Config
+	buf   [subBytes]byte // Send payload scratch (see source.buf)
+}
+
+// sub encodes a sub-request into the object's scratch buffer.
+func (o *fork) sub(src event.ObjectID, seq, cyl uint32, sector, sub uint16) []byte {
+	putSub(o.buf[:], src, seq, cyl, sector, sub)
+	return o.buf[:]
 }
 
 func (o *fork) Name() string { return o.name }
@@ -362,7 +430,7 @@ func (o *fork) Execute(ctx model.Context, st model.State, ev *event.Event) {
 	for u := 0; u < o.cfg.StripeWidth; u++ {
 		disk := o.disks[(start+u)%len(o.disks)]
 		ctx.Send(disk, o.cfg.ForkDelay, KindSubRequest,
-			encodeSub(src, seq, cyl, sector, uint16(u)))
+			o.sub(src, seq, cyl, sector, uint16(u)))
 	}
 }
 
@@ -380,6 +448,20 @@ func (s *diskState) Clone() model.State {
 		c.Pad = append([]byte(nil), s.Pad...)
 	}
 	return &c
+}
+
+// CopyInto implements model.Reusable (see sourceState.CopyInto).
+func (s *diskState) CopyInto(dst model.State) model.State {
+	d, ok := dst.(*diskState)
+	if !ok {
+		return s.Clone()
+	}
+	pad := d.Pad
+	*d = *s
+	if s.Pad != nil {
+		d.Pad = append(pad[:0], s.Pad...)
+	}
+	return d
 }
 
 func (s *diskState) StateBytes() int { return 32 + len(s.Pad) }
@@ -407,6 +489,13 @@ func (s *diskState) UnmarshalState(data []byte) (model.State, error) {
 type disk struct {
 	name string
 	cfg  Config
+	buf  [subBytes]byte // Send payload scratch (see source.buf)
+}
+
+// sub encodes a sub-reply into the object's scratch buffer.
+func (o *disk) sub(src event.ObjectID, seq, cyl uint32, sector, sub uint16) []byte {
+	putSub(o.buf[:], src, seq, cyl, sector, sub)
+	return o.buf[:]
 }
 
 func (o *disk) Name() string { return o.name }
@@ -441,7 +530,7 @@ func (o *disk) Execute(ctx model.Context, st model.State, ev *event.Event) {
 		o.cfg.TransferTime
 	s.Served++
 	s.Busy += int64(service)
-	ctx.Send(src, service, KindSubReply, encodeSub(src, seq, cyl, sector, sub))
+	ctx.Send(src, service, KindSubReply, o.sub(src, seq, cyl, sector, sub))
 }
 
 // New builds the RAID model. Sources are spread across LPs with their LP's

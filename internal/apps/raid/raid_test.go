@@ -1,6 +1,7 @@
 package raid
 
 import (
+	"reflect"
 	"testing"
 
 	"gowarp/internal/core"
@@ -147,5 +148,47 @@ func TestStateCloneIsDeep(t *testing.T) {
 func TestTotalRequests(t *testing.T) {
 	if got := TotalRequests(Config{RequestsPerSource: 1000}); got != 20000 {
 		t.Errorf("TotalRequests = %d", got)
+	}
+}
+
+// TestSourceStateCopyInto covers the map-bearing state's model.Reusable
+// implementation: refilling a retired clone must produce exactly what Clone
+// would — including clearing stale map entries the retired copy still holds —
+// while reusing the retired maps and Pad backing.
+func TestSourceStateCopyInto(t *testing.T) {
+	src := &sourceState{
+		Issued: 7, Completed: 3, LatencySum: 99, Phantoms: 1,
+		PendingSubs: map[uint32]int{4: 2, 6: 1},
+		IssueTimes:  map[uint32]vtime.Time{4: 40, 6: 60},
+		Pad:         []byte{1, 2, 3, 4},
+	}
+	src.Rng = model.RandFromState(11)
+	// The retired state carries stale entries that must not survive.
+	retired := src.Clone().(*sourceState)
+	retired.PendingSubs[99] = 5
+	retired.IssueTimes[99] = 990
+	retired.Issued = 1234
+	padPtr := &retired.Pad[0]
+
+	got := src.CopyInto(retired).(*sourceState)
+	want := src.Clone().(*sourceState)
+	if got != retired {
+		t.Fatal("CopyInto did not return the retired struct")
+	}
+	if &got.Pad[0] != padPtr {
+		t.Error("CopyInto did not reuse the retired Pad backing")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CopyInto produced %+v, Clone produced %+v", got, want)
+	}
+	// Independence: mutating the copy must not touch the source.
+	got.PendingSubs[4] = 100
+	got.Pad[0] = 0xFF
+	if src.PendingSubs[4] != 2 || src.Pad[0] != 1 {
+		t.Error("CopyInto result aliases the source state")
+	}
+	// Wrong concrete type falls back to a fresh clone.
+	if _, ok := src.CopyInto(&diskState{}).(*sourceState); !ok {
+		t.Error("CopyInto with a foreign type did not fall back to Clone")
 	}
 }

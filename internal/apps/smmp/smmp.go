@@ -105,14 +105,20 @@ func (c Config) withDefaults() Config {
 }
 
 // request payload layout: addr(4) seq(4) cache(4) created(8).
-func encodeReq(addr, seq uint32, cache event.ObjectID, created vtime.Time) []byte {
-	p := make([]byte, 20)
+func putReq(p []byte, addr, seq uint32, cache event.ObjectID, created vtime.Time) {
 	binary.LittleEndian.PutUint32(p[0:], addr)
 	binary.LittleEndian.PutUint32(p[4:], seq)
 	binary.LittleEndian.PutUint32(p[8:], uint32(cache))
 	binary.LittleEndian.PutUint64(p[12:], uint64(created))
+}
+
+func encodeReq(addr, seq uint32, cache event.ObjectID, created vtime.Time) []byte {
+	p := make([]byte, reqBytes)
+	putReq(p, addr, seq, cache, created)
 	return p
 }
+
+const reqBytes = 20
 
 func decodeReq(p []byte) (addr, seq uint32, cache event.ObjectID) {
 	return binary.LittleEndian.Uint32(p[0:]),
@@ -145,6 +151,21 @@ func (s *cpuState) Clone() model.State {
 	return &c
 }
 
+// CopyInto implements model.Reusable: refill dst, a retired checkpoint of the
+// same type, reusing its Pad backing array.
+func (s *cpuState) CopyInto(dst model.State) model.State {
+	d, ok := dst.(*cpuState)
+	if !ok {
+		return s.Clone()
+	}
+	pad := d.Pad
+	*d = *s
+	if s.Pad != nil {
+		d.Pad = append(pad[:0], s.Pad...)
+	}
+	return d
+}
+
 func (s *cpuState) StateBytes() int { return 64 + len(s.Pad) }
 
 // MarshalState implements codec.DeltaState (fixed layout, delta-friendly).
@@ -174,6 +195,15 @@ type cpu struct {
 	cache event.ObjectID
 	cfg   Config
 	seed  uint64
+	// buf is the request-payload scratch buffer; the kernel copies payloads
+	// during Send, so it is reusable immediately after each call.
+	buf [reqBytes]byte
+}
+
+// req encodes a request into the object's scratch buffer.
+func (o *cpu) req(addr, seq uint32, created vtime.Time) []byte {
+	putReq(o.buf[:], addr, seq, o.cache, created)
+	return o.buf[:]
 }
 
 func (o *cpu) Name() string { return o.name }
@@ -196,7 +226,7 @@ func (o *cpu) Execute(ctx model.Context, st model.State, ev *event.Event) {
 		addr := uint32(s.Rng.Uint64())
 		seq := uint32(s.Issued)
 		s.Issued++
-		ctx.Send(o.cache, 1, KindRequest, encodeReq(addr, seq, o.cache, ctx.Now().Add(1)))
+		ctx.Send(o.cache, 1, KindRequest, o.req(addr, seq, ctx.Now().Add(1)))
 		if o.cfg.Requests == 0 || s.Issued < int64(o.cfg.Requests) {
 			ctx.Send(ctx.Self(), vtime.Time(s.Rng.Exp(o.cfg.ThinkMean)), KindGenerate, nil)
 		}
@@ -231,6 +261,20 @@ func (s *cacheState) Clone() model.State {
 		c.Pad = append([]byte(nil), s.Pad...)
 	}
 	return &c
+}
+
+// CopyInto implements model.Reusable (see cpuState.CopyInto).
+func (s *cacheState) CopyInto(dst model.State) model.State {
+	d, ok := dst.(*cacheState)
+	if !ok {
+		return s.Clone()
+	}
+	pad := d.Pad
+	*d = *s
+	if s.Pad != nil {
+		d.Pad = append(pad[:0], s.Pad...)
+	}
+	return d
 }
 
 func (s *cacheState) StateBytes() int { return 48 + len(s.Pad) }
@@ -306,6 +350,20 @@ func (s *portState) Clone() model.State {
 	return &c
 }
 
+// CopyInto implements model.Reusable (see cpuState.CopyInto).
+func (s *portState) CopyInto(dst model.State) model.State {
+	d, ok := dst.(*portState)
+	if !ok {
+		return s.Clone()
+	}
+	pad := d.Pad
+	*d = *s
+	if s.Pad != nil {
+		d.Pad = append(pad[:0], s.Pad...)
+	}
+	return d
+}
+
 func (s *portState) StateBytes() int { return 16 + len(s.Pad) }
 
 // MarshalState implements codec.DeltaState.
@@ -355,6 +413,20 @@ func (s *bankState) Clone() model.State {
 		c.Pad = append([]byte(nil), s.Pad...)
 	}
 	return &c
+}
+
+// CopyInto implements model.Reusable (see cpuState.CopyInto).
+func (s *bankState) CopyInto(dst model.State) model.State {
+	d, ok := dst.(*bankState)
+	if !ok {
+		return s.Clone()
+	}
+	pad := d.Pad
+	*d = *s
+	if s.Pad != nil {
+		d.Pad = append(pad[:0], s.Pad...)
+	}
+	return d
 }
 
 func (s *bankState) StateBytes() int { return 16 + len(s.Pad) }

@@ -388,8 +388,8 @@ func (l *LPAudit) Adopt(prev *ObjectAudit, id event.ObjectID) *ObjectAudit {
 	}
 	o := &ObjectAudit{l: l, id: id}
 	if prev != nil {
-		o.lastExec = prev.lastExec
-		o.lastCommit = prev.lastCommit
+		o.lastExec, o.hasExec = prev.lastExec, prev.hasExec
+		o.lastCommit, o.hasCommit = prev.lastCommit, prev.hasCommit
 	}
 	return o
 }
@@ -462,11 +462,17 @@ func (l *LPAudit) FinishDeferred(evs []*event.Event) {
 
 // ObjectAudit is the per-simulation-object face of the Auditor. All methods
 // are nil-safe; each is called only from the owning LP goroutine.
+//
+// The order trackers are by-value copies (event.Key), never pointers: the
+// events they remember belong to kernel queues and may be annihilated or
+// recycled into an event pool while the tracker outlives them.
 type ObjectAudit struct {
 	l          *LPAudit
 	id         event.ObjectID
-	lastExec   *event.Event
-	lastCommit *event.Event
+	lastExec   event.Event
+	hasExec    bool
+	lastCommit event.Event
+	hasCommit  bool
 }
 
 // Deliver checks a message arriving at the object's input queue: nothing may
@@ -491,7 +497,7 @@ func (o *ObjectAudit) Execute(ev *event.Event) {
 		return
 	}
 	o.l.checks++
-	if o.lastExec != nil && event.Compare(ev, o.lastExec) <= 0 {
+	if o.hasExec && event.Compare(ev, &o.lastExec) <= 0 {
 		o.l.a.record(Violation{Invariant: InvExecOrder, LP: o.l.lp, Object: o.id,
 			Detail: fmt.Sprintf("executed @%s (sender %d id %d) after @%s (sender %d id %d) without a rollback",
 				ev.RecvTime, ev.Sender, ev.ID, o.lastExec.RecvTime, o.lastExec.Sender, o.lastExec.ID)})
@@ -500,7 +506,7 @@ func (o *ObjectAudit) Execute(ev *event.Event) {
 		o.l.a.record(Violation{Invariant: InvExecBelowGVT, LP: o.l.lp, Object: o.id,
 			Detail: fmt.Sprintf("executed @%s below GVT %s", ev.RecvTime, o.l.gvt)})
 	}
-	o.lastExec = ev
+	o.lastExec, o.hasExec = ev.Key(), true
 }
 
 // Commit checks one event being committed under GVT bound g: it must lie
@@ -514,12 +520,12 @@ func (o *ObjectAudit) Commit(ev *event.Event, g vtime.Time) {
 		o.l.a.record(Violation{Invariant: InvPrematureCommit, LP: o.l.lp, Object: o.id,
 			Detail: fmt.Sprintf("committed @%s at or above GVT bound %s", ev.RecvTime, g)})
 	}
-	if o.lastCommit != nil && event.Compare(ev, o.lastCommit) <= 0 {
+	if o.hasCommit && event.Compare(ev, &o.lastCommit) <= 0 {
 		o.l.a.record(Violation{Invariant: InvCommitOrder, LP: o.l.lp, Object: o.id,
 			Detail: fmt.Sprintf("committed @%s (sender %d id %d) after @%s (sender %d id %d)",
 				ev.RecvTime, ev.Sender, ev.ID, o.lastCommit.RecvTime, o.lastCommit.Sender, o.lastCommit.ID)})
 	}
-	o.lastCommit = ev
+	o.lastCommit, o.hasCommit = ev.Key(), true
 }
 
 // RollbackStart checks the straggler (positive or anti) that triggered a
@@ -563,7 +569,11 @@ func (o *ObjectAudit) RollbackEnd(lastExec *event.Event) {
 	if o == nil {
 		return
 	}
-	o.lastExec = lastExec
+	if lastExec == nil {
+		o.lastExec, o.hasExec = event.Event{}, false
+		return
+	}
+	o.lastExec, o.hasExec = lastExec.Key(), true
 }
 
 // Floor checks invariant (b) at a GVT application: the new estimate can

@@ -143,7 +143,9 @@ type harness struct {
 func newHarness(mode Mode) *harness {
 	h := &harness{}
 	sel := NewSelector(Config{Mode: mode, FilterDepth: 8, Period: 1})
-	h.m = NewManager(sel, func(a *event.Event) { h.antis = append(h.antis, a) }, &h.st)
+	// nil pool: the harness keeps referring to events after the manager
+	// releases them, so reclamation stays with the garbage collector.
+	h.m = NewManager(sel, func(a *event.Event) { h.antis = append(h.antis, a) }, &h.st, nil)
 	return h
 }
 

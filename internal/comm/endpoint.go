@@ -41,6 +41,49 @@ type Endpoint struct {
 	// Set both before the run starts; the codec facet wires them.
 	Compress   func(dst, src []byte) []byte
 	Decompress func(src []byte) ([]byte, error)
+
+	// Pool, when non-nil, switches the endpoint to pooled-event mode:
+	// DecodeEvents materialises events from the pool with copied payloads
+	// (instead of aliasing the packet bytes) and drained packet buffers are
+	// recycled onto wireFree for reuse as future aggregation buffers. When
+	// nil (the conservative kernel, tests) the old aliasing lifetime rules
+	// apply and no buffer is ever recycled. Set before the run starts.
+	Pool *event.Pool
+
+	// wireFree is the free list of wire buffers: drained packet payloads and
+	// flushed aggregates reclaimed after compression won. Buffers circulate
+	// between LPs — a packet hands its backing array to the receiver — but
+	// are only ever touched by the goroutine that currently owns them.
+	wireFree [][]byte
+	// evScratch is the reusable decode slice handed out by DecodeEvents.
+	// Its contents are only valid until the next DecodeEvents call.
+	evScratch []*event.Event
+}
+
+// maxFreeWireBufs bounds the wire-buffer free list so a transient burst of
+// packets cannot pin memory for the rest of the run.
+const maxFreeWireBufs = 32
+
+// takeWire pops a recycled wire buffer (length 0, capacity warm) or returns
+// nil, leaving allocation to append.
+func (e *Endpoint) takeWire() []byte {
+	if n := len(e.wireFree); n > 0 {
+		b := e.wireFree[n-1]
+		e.wireFree[n-1] = nil
+		e.wireFree = e.wireFree[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// recycleWire returns a buffer the endpoint owns to the free list. Only
+// meaningful in pooled mode: without a pool, decoded events alias packet
+// payloads, so buffers must never be reused.
+func (e *Endpoint) recycleWire(b []byte) {
+	if e.Pool == nil || cap(b) == 0 || len(e.wireFree) >= maxFreeWireBufs {
+		return
+	}
+	e.wireFree = append(e.wireFree, b)
 }
 
 // minWireCompress is the payload size below which flush skips compression:
@@ -100,6 +143,9 @@ func (e *Endpoint) Send(ev *event.Event, dstLP int, urgent bool) {
 	if b.count == 0 {
 		b.first = time.Now()
 		b.color = e.color
+		if b.payload == nil {
+			b.payload = e.takeWire()
+		}
 	}
 	b.payload = ev.Encode(b.payload)
 	b.count++
@@ -167,8 +213,12 @@ func (e *Endpoint) flush(dst int, cause FlushCause) {
 
 	comp := false
 	if e.Compress != nil && len(payload) >= minWireCompress {
-		if c := e.Compress(nil, payload); len(c) < len(payload) {
+		if c := e.Compress(e.takeWire(), payload); len(c) < len(payload) {
+			// The compressed form travels; the raw aggregate stays home
+			// and is reclaimed at the end of this flush.
 			payload, comp = c, true
+		} else {
+			e.recycleWire(c)
 		}
 	}
 
@@ -201,7 +251,10 @@ func (e *Endpoint) flush(dst int, cause FlushCause) {
 		Comp:    comp,
 	}, len(payload))
 
-	b.payload = nil // the receiver owns the slice now
+	if comp {
+		e.recycleWire(b.payload) // only the compressed form travelled
+	}
+	b.payload = nil // the receiver owns the shipped slice now
 	b.count = 0
 	if e.cfg.Policy == SAAW {
 		// The paper's P component is "everyAggregate": adapt whenever an
@@ -233,9 +286,11 @@ func (e *Endpoint) Buffered() int64 {
 }
 
 // DecodeEvents unpacks an events packet, updating the receive-side GVT
-// counters. The returned events alias the packet payload.
+// counters. In pooled mode (Pool non-nil) the events come from the pool
+// with copied payloads, the packet buffer is recycled, and the returned
+// slice is endpoint-owned scratch valid only until the next call. Without
+// a pool the returned events alias the packet payload (the old rules).
 func (e *Endpoint) DecodeEvents(p Packet) ([]*event.Event, error) {
-	evs := make([]*event.Event, 0, p.Count)
 	buf := p.Payload
 	if p.Comp {
 		var err error
@@ -243,15 +298,39 @@ func (e *Endpoint) DecodeEvents(p Packet) ([]*event.Event, error) {
 			return nil, err
 		}
 	}
+	if e.Pool == nil {
+		evs := make([]*event.Event, 0, p.Count)
+		for len(buf) > 0 {
+			ev, rest, err := event.Decode(buf)
+			if err != nil {
+				return nil, err
+			}
+			evs = append(evs, ev)
+			buf = rest
+		}
+		e.recv[p.Color&1] += int64(len(evs))
+		return evs, nil
+	}
+	full := buf
+	evs := e.evScratch[:0]
 	for len(buf) > 0 {
-		ev, rest, err := event.Decode(buf)
+		ev, rest, err := e.Pool.DecodeInto(buf)
 		if err != nil {
+			e.evScratch = evs
 			return nil, err
 		}
 		evs = append(evs, ev)
 		buf = rest
 	}
+	e.evScratch = evs
 	e.recv[p.Color&1] += int64(len(evs))
+	// Every payload byte has been copied out; the wire buffers (both the
+	// packet's and, for compressed packets, the inflated form) go back to
+	// the free list.
+	e.recycleWire(p.Payload)
+	if p.Comp {
+		e.recycleWire(full)
+	}
 	return evs, nil
 }
 

@@ -140,7 +140,9 @@ func (c *ctx) Send(to event.ObjectID, delay vtime.Time, kind uint32, payload []b
 		ID:       c.o.seq,
 		SendSeq:  c.o.sendSeq,
 		Kind:     kind,
-		Payload:  payload,
+		// Copied, not aliased: Context.Send lets callers reuse their
+		// payload slice after the call, matching the Time Warp kernel.
+		Payload: append([]byte(nil), payload...),
 	}
 	c.o.seq++
 	c.o.sendSeq++

@@ -48,24 +48,29 @@ func (c *execContext) Send(to event.ObjectID, delay vtime.Time, kind uint32, pay
 		o.sendVT = now
 		o.sendSeq = 0
 	}
-	ev := &event.Event{
-		SendTime: now,
-		RecvTime: now.Add(delay),
-		Sender:   o.id,
-		Receiver: to,
-		ID:       o.seq,
-		SendSeq:  o.sendSeq,
-		Kind:     kind,
-		Payload:  payload,
-	}
+	id, seq := o.seq, o.sendSeq
 	o.seq++
 	o.sendSeq++
 	if o.coasting {
+		// Suppressed outputs advance the counters but never materialise,
+		// so coast forward touches the pool not at all.
 		return
 	}
+	ev := o.lp.pool.Get()
+	ev.SendTime = now
+	ev.RecvTime = now.Add(delay)
+	ev.Sender = o.id
+	ev.Receiver = to
+	ev.ID = id
+	ev.SendSeq = seq
+	ev.Kind = kind
+	// The payload is copied into pool-owned backing, so the caller may
+	// reuse its slice as soon as Send returns.
+	o.lp.pool.SetPayload(ev, payload)
 	if !o.out.FilterOutput(ev, c.cur) {
-		return // lazy hit: the prematurely sent original stands
+		o.lp.pool.Put(ev) // lazy hit: the prematurely sent original stands
+		return
 	}
 	o.out.RecordSent(ev, c.cur)
-	o.lp.route(ev, false)
+	o.lp.routeRecorded(ev, false)
 }

@@ -44,14 +44,24 @@ type lpRun struct {
 	st      stats.Counters
 	running bool
 
+	// pool is this LP's event free list (see the ownership rules in package
+	// event). Everything the LP creates, clones or decodes draws from it,
+	// and annihilation, fossil collection and anti-message transmission
+	// recycle into it. Single-goroutine, like everything else here.
+	pool *event.Pool
+
 	// deferred holds intra-LP messages awaiting insertion; deferring them
 	// to the main loop keeps rollback cascades from re-entering an object
-	// mid-rollback.
-	deferred []*event.Event
+	// mid-rollback. deferredSpare is the drained slice from the previous
+	// round, kept so the two buffers ping-pong instead of reallocating.
+	deferred      []*event.Event
+	deferredSpare []*event.Event
 
 	// idleTick bounds how long an idle LP sleeps before re-checking
-	// aggregation deadlines and (on LP 0) GVT initiation.
-	idleTick time.Duration
+	// aggregation deadlines and (on LP 0) GVT initiation. idleTimer is the
+	// reused timer backing those waits (allocated on first use).
+	idleTick  time.Duration
+	idleTimer *time.Timer
 
 	// numLPs and started support timeline sampling (see timeline.go).
 	numLPs   int
@@ -97,15 +107,44 @@ func (lp *lpRun) refresh(o *simObject) {
 	lp.sched.Update(o.slot, o.nextTime())
 }
 
-// route delivers an outgoing event: directly (deferred) for a locally hosted
-// receiver, through the network otherwise. Urgent messages (anti-messages)
-// flush the aggregation buffer immediately. Hosting is decided by this LP's
-// own local table, not the shared routing table, so an object this LP is
-// about to migrate still receives intra-LP sends until the capsule is packed.
-func (lp *lpRun) route(ev *event.Event, urgent bool) {
+// noteEdge feeds the load recorder's communication-affinity matrix.
+func (lp *lpRun) noteEdge(ev *event.Event) {
 	if lp.ld != nil && ev.Sender != ev.Receiver {
 		lp.ld.edges[stats.EdgeKey(int32(ev.Sender), int32(ev.Receiver))]++
 	}
+}
+
+// routeRecorded delivers an output event that stays owned by its sender's
+// cancellation manager (the output-queue record). A locally hosted receiver
+// gets an independent pool clone — record and queues must never share a
+// pointer once events are recycled — and a remote receiver gets the wire
+// encoding; either way the caller's pointer remains valid after the call.
+// Urgent messages flush the aggregation buffer immediately. Hosting is
+// decided by this LP's own local table, not the shared routing table, so an
+// object this LP is about to migrate still receives intra-LP sends until
+// the capsule is packed.
+func (lp *lpRun) routeRecorded(ev *event.Event, urgent bool) {
+	lp.noteEdge(ev)
+	if lp.local[ev.Receiver] != nil {
+		if lp.au != nil {
+			lp.au.Route(ev, false)
+		}
+		lp.deferred = append(lp.deferred, lp.pool.Clone(ev))
+		lp.st.IntraLPMsgs++
+		return
+	}
+	if lp.au != nil {
+		lp.au.Route(ev, true)
+	}
+	lp.ep.Send(ev, lp.owner(ev.Receiver), urgent)
+}
+
+// routeOwned delivers an event the caller owns outright (anti-messages and
+// forwards, which have no output-queue record). A local receiver takes
+// ownership of the pointer itself; a remote send transfers ownership to the
+// wire bytes, so the struct is recycled as soon as it is encoded.
+func (lp *lpRun) routeOwned(ev *event.Event, urgent bool) {
+	lp.noteEdge(ev)
 	if lp.local[ev.Receiver] != nil {
 		if lp.au != nil {
 			lp.au.Route(ev, false)
@@ -118,6 +157,7 @@ func (lp *lpRun) route(ev *event.Event, urgent bool) {
 		lp.au.Route(ev, true)
 	}
 	lp.ep.Send(ev, lp.owner(ev.Receiver), urgent)
+	lp.pool.Put(ev)
 }
 
 // owner resolves the LP to address for an object this LP does not host. The
@@ -149,20 +189,25 @@ func (lp *lpRun) deliver(ev *event.Event) {
 	}
 	lp.st.ForwardedMsgs++
 	lp.ep.Send(ev, lp.owner(ev.Receiver), ev.IsAnti())
+	lp.pool.Put(ev)
 }
 
-// emitAnti is the cancellation managers' transmit hook.
-func (lp *lpRun) emitAnti(anti *event.Event) { lp.route(anti, true) }
+// emitAnti is the cancellation managers' transmit hook; the anti-message
+// arrives pool-owned and routeOwned disposes of it.
+func (lp *lpRun) emitAnti(anti *event.Event) { lp.routeOwned(anti, true) }
 
 // drainDeferred inserts queued intra-LP messages until none remain
-// (insertions can trigger rollbacks that enqueue more).
+// (insertions can trigger rollbacks that enqueue more). The drained and
+// filling slices ping-pong so steady state appends into warm capacity.
 func (lp *lpRun) drainDeferred() {
 	for len(lp.deferred) > 0 {
 		q := lp.deferred
-		lp.deferred = nil
-		for _, ev := range q {
+		lp.deferred = lp.deferredSpare[:0]
+		for i, ev := range q {
+			q[i] = nil
 			lp.deliver(ev)
 		}
+		lp.deferredSpare = q[:0]
 	}
 }
 
@@ -302,8 +347,8 @@ func (lp *lpRun) applyGVT(g vtime.Time) {
 func (lp *lpRun) initObjects() {
 	for _, o := range lp.objs {
 		o.state = o.obj.InitialState()
-		ctx := execContext{o: o}
-		o.obj.Init(&ctx, o.state)
+		o.ectx.cur = nil
+		o.obj.Init(&o.ectx, o.state)
 		meta := statesave.Snapshot{
 			SendVT:  o.sendVT,
 			SendSeq: o.sendSeq,
@@ -362,12 +407,25 @@ func (lp *lpRun) idle() {
 		}
 	}
 	if timeout > 0 {
-		timer := time.NewTimer(timeout)
+		// One timer per LP, reused across idle periods. The Stop/drain
+		// dance keeps the channel empty so a later Reset cannot deliver a
+		// stale tick (pre-Go-1.23 timer semantics, which this module's go
+		// directive selects).
+		if lp.idleTimer == nil {
+			lp.idleTimer = time.NewTimer(timeout)
+		} else {
+			lp.idleTimer.Reset(timeout)
+		}
 		select {
 		case p := <-lp.inbox:
-			timer.Stop()
+			if !lp.idleTimer.Stop() {
+				select {
+				case <-lp.idleTimer.C:
+				default:
+				}
+			}
 			lp.handlePacket(p)
-		case <-timer.C:
+		case <-lp.idleTimer.C:
 		}
 	}
 	lp.ep.Poll(time.Now())

@@ -209,8 +209,10 @@ func (lp *lpRun) install(p comm.Packet) {
 		lp.rebuildSched()
 
 		// Rebind the pieces that point at the hosting LP: the output queue's
-		// anti-message emitter and counters, and the controller trace hooks.
-		o.out.Rebind(lp.emitAnti, &lp.st)
+		// anti-message emitter, counters and event pool, and the controller
+		// trace hooks. Events the object carried over recycle into the new
+		// host's pool from now on.
+		o.out.Rebind(lp.emitAnti, &lp.st, lp.pool)
 		bindObjectHooks(lp, o)
 
 		if lp.au != nil {

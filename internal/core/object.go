@@ -25,10 +25,19 @@ type simObject struct {
 	lp   *lpRun
 
 	// state is the working copy the object mutates; lvt and lastExec track
-	// the most recently executed event.
-	state    model.State
-	lvt      vtime.Time
-	lastExec *event.Event
+	// the most recently executed event. lastExec normally points into
+	// processed; when fossil collection reclaims that event the cursor is
+	// re-pointed at lastExecStore, a by-value copy that preserves the
+	// straggler comparison without pinning the recycled event.
+	state         model.State
+	lvt           vtime.Time
+	lastExec      *event.Event
+	lastExecStore event.Event
+
+	// ectx is the reusable model.Context for this object's Init/Execute
+	// calls. Keeping it a field (rather than a per-call local) stops the
+	// interface call from forcing a heap allocation per event.
+	ectx execContext
 
 	// pending holds unprocessed input events; processed holds executed
 	// events in execution order (== event.Compare order), retained for
@@ -94,9 +103,11 @@ func (o *simObject) deliver(ev *event.Event) {
 		return
 	}
 	id := pq.IdentityOf(ev)
-	if _, ok := o.orphans[id]; ok {
+	if a, ok := o.orphans[id]; ok {
 		// The anti-message overtook us; the pair annihilates on arrival.
 		delete(o.orphans, id)
+		o.lp.pool.Put(a)
+		o.lp.pool.Put(ev)
 		return
 	}
 	if o.lastExec != nil && event.Compare(ev, o.lastExec) < 0 {
@@ -108,16 +119,22 @@ func (o *simObject) deliver(ev *event.Event) {
 
 func (o *simObject) deliverAnti(anti *event.Event) {
 	id := pq.IdentityOf(anti)
-	if o.pending.Remove(id) != nil {
-		return // annihilated an unprocessed event
+	if pos := o.pending.Remove(id); pos != nil {
+		// Annihilated an unprocessed event; both members of the pair die.
+		o.lp.pool.Put(pos)
+		o.lp.pool.Put(anti)
+		return
 	}
 	if o.processedHas(anti) {
 		// The positive was already executed: roll back past it, which
 		// requeues it into pending, then annihilate.
 		o.rollback(anti, true)
-		if o.pending.Remove(id) == nil {
+		pos := o.pending.Remove(id)
+		if pos == nil {
 			panic(fmt.Sprintf("core: object %d: annihilation target vanished after rollback (%s)", o.id, anti))
 		}
+		o.lp.pool.Put(pos)
+		o.lp.pool.Put(anti)
 		return
 	}
 	o.orphans[id] = anti
@@ -180,7 +197,13 @@ func (o *simObject) rollback(straggler *event.Event, isAnti bool) {
 	if o.au != nil {
 		o.au.Restore(straggler, snap)
 	}
-	o.state = snap.State.Clone()
+	// The working state is exclusively object-owned (snapshots are deep
+	// copies), so restore into it in place when the state supports reuse.
+	if r, ok := snap.State.(model.Reusable); ok && o.state != nil {
+		o.state = r.CopyInto(o.state)
+	} else {
+		o.state = snap.State.Clone()
+	}
 	o.sendVT = snap.SendVT
 	o.sendSeq = snap.SendSeq
 
@@ -273,8 +296,9 @@ func (o *simObject) executeNext() {
 
 // execApp invokes the model's handler for e against the working state.
 func (o *simObject) execApp(e *event.Event) {
-	ctx := execContext{o: o, cur: e}
-	o.obj.Execute(&ctx, o.state, e)
+	o.ectx.cur = e
+	o.obj.Execute(&o.ectx, o.state, e)
+	o.ectx.cur = nil
 }
 
 // drainStale resolves leftover lazy-pending outputs when the object has no
@@ -315,6 +339,16 @@ func (o *simObject) fossilCollect(gvt vtime.Time) {
 
 	if drop := o.stateQ.OldestMark() - o.processedBase; drop > 0 {
 		n := int(drop)
+		for i := 0; i < n; i++ {
+			e := o.processed[i]
+			if e == o.lastExec {
+				// The cursor outlives the event: demote it to a by-value
+				// copy before the event is recycled.
+				o.lastExecStore = e.Key()
+				o.lastExec = &o.lastExecStore
+			}
+			lp.pool.Put(e)
+		}
 		copy(o.processed, o.processed[n:])
 		for i := len(o.processed) - n; i < len(o.processed); i++ {
 			o.processed[i] = nil
@@ -332,6 +366,7 @@ func (o *simObject) fossilCollect(gvt vtime.Time) {
 				o.au.OrphanDropped(a)
 			}
 			delete(o.orphans, k)
+			lp.pool.Put(a)
 		}
 	}
 }

@@ -69,6 +69,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		if lp.idleTick <= 0 {
 			lp.idleTick = 250 * time.Microsecond
 		}
+		lp.pool = event.NewPool()
 		if cfg.Balance.Dynamic() {
 			lp.ld = newLoadRecorder(len(m.Objects))
 			if i == 0 {
@@ -76,6 +77,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 			}
 		}
 		lp.ep = net.NewEndpoint(i, cfg.Aggregation, &lp.st)
+		lp.ep.Pool = lp.pool
 		if cfg.Codec.CompressWire() {
 			lp.ep.Compress = codec.Compress
 			lp.ep.Decompress = codec.Decompress
@@ -109,9 +111,10 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 			orphans: make(map[pq.Identity]*event.Event),
 		}
 		o.au = lp.au.Object(o.id)
+		o.ectx.o = o
 		o.ckpt = statesave.NewCheckpointer(cfg.Checkpoint)
 		sel := cancel.NewSelector(cfg.Cancellation)
-		o.out = cancel.NewManager(sel, lp.emitAnti, &lp.st)
+		o.out = cancel.NewManager(sel, lp.emitAnti, &lp.st, lp.pool)
 		bindObjectHooks(lp, o)
 		sh.objs[id] = o
 		lp.objs = append(lp.objs, o)
@@ -199,6 +202,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		for _, o := range lp.objs {
 			lp.st.CheckpointAdjustments += o.ckpt.Adjustments
 		}
+		lp.st.EventPoolAllocs, lp.st.EventPoolReuses = lp.pool.Stats()
 		res.PerLP[i] = lp.st
 		res.Stats.Merge(&lp.st)
 	}

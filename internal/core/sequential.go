@@ -64,7 +64,9 @@ func (c *seqContext) Send(to event.ObjectID, delay vtime.Time, kind uint32, payl
 		ID:       c.k.seqs[c.id],
 		SendSeq:  c.k.sendSeq[c.id],
 		Kind:     kind,
-		Payload:  payload,
+		// Copied, not aliased: Context.Send lets callers reuse their
+		// payload slice after the call, matching the parallel kernel.
+		Payload: append([]byte(nil), payload...),
 	}
 	c.k.pending.Push(ev)
 	c.k.seqs[c.id]++

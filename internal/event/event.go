@@ -72,6 +72,22 @@ type Event struct {
 	Kind uint32
 	// Payload is the application data, carried opaquely by the kernel.
 	Payload []byte
+	// pooledBuf marks Payload's backing array as allocated by a Pool, so
+	// recycling the event may retain the array for reuse. Events built
+	// outside a pool (or carrying an application- or wire-aliased payload)
+	// leave it false and drop the payload on recycle.
+	pooledBuf bool
+}
+
+// Key returns a by-value copy of e with the payload dropped. The copy is
+// safe to retain after e itself has been recycled into a Pool; it preserves
+// identity, timestamps and the total-order key, which is everything
+// bookkeeping layers (cancellation generations, audit cursors) compare on.
+func (e *Event) Key() Event {
+	c := *e
+	c.Payload = nil
+	c.pooledBuf = false
+	return c
 }
 
 // Anti returns the anti-message cancelling e. The anti-message shares e's
@@ -214,25 +230,35 @@ func (e *Event) Encode(buf []byte) []byte {
 // ErrTruncated is returned by Decode when buf does not hold a whole event.
 var ErrTruncated = errors.New("event: truncated wire data")
 
-// Decode reads one event from the front of buf, returning the event and the
-// remaining bytes. The returned event's payload aliases buf.
-func Decode(buf []byte) (*Event, []byte, error) {
+// decodeHeader parses one event header from the front of buf into e, leaving
+// e.Payload untouched. It returns the payload byte count and an error if buf
+// does not hold a whole event.
+func decodeHeader(e *Event, buf []byte) (int, error) {
 	if len(buf) < headerSize {
-		return nil, buf, ErrTruncated
+		return 0, ErrTruncated
 	}
 	n := int(binary.LittleEndian.Uint32(buf[41:]))
 	if len(buf) < headerSize+n {
-		return nil, buf, ErrTruncated
+		return 0, ErrTruncated
 	}
-	e := &Event{
-		SendTime: vtime.Time(binary.LittleEndian.Uint64(buf[0:])),
-		RecvTime: vtime.Time(binary.LittleEndian.Uint64(buf[8:])),
-		Sender:   ObjectID(binary.LittleEndian.Uint32(buf[16:])),
-		Receiver: ObjectID(binary.LittleEndian.Uint32(buf[20:])),
-		ID:       binary.LittleEndian.Uint64(buf[24:]),
-		SendSeq:  binary.LittleEndian.Uint32(buf[32:]),
-		Sign:     Sign(buf[36]),
-		Kind:     binary.LittleEndian.Uint32(buf[37:]),
+	e.SendTime = vtime.Time(binary.LittleEndian.Uint64(buf[0:]))
+	e.RecvTime = vtime.Time(binary.LittleEndian.Uint64(buf[8:]))
+	e.Sender = ObjectID(binary.LittleEndian.Uint32(buf[16:]))
+	e.Receiver = ObjectID(binary.LittleEndian.Uint32(buf[20:]))
+	e.ID = binary.LittleEndian.Uint64(buf[24:])
+	e.SendSeq = binary.LittleEndian.Uint32(buf[32:])
+	e.Sign = Sign(buf[36])
+	e.Kind = binary.LittleEndian.Uint32(buf[37:])
+	return n, nil
+}
+
+// Decode reads one event from the front of buf, returning the event and the
+// remaining bytes. The returned event's payload aliases buf.
+func Decode(buf []byte) (*Event, []byte, error) {
+	e := &Event{}
+	n, err := decodeHeader(e, buf)
+	if err != nil {
+		return nil, buf, err
 	}
 	if n > 0 {
 		e.Payload = buf[headerSize : headerSize+n : headerSize+n]

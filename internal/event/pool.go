@@ -1,0 +1,149 @@
+package event
+
+// Pool is a free list of Event structs and their payload backing arrays.
+// The Time Warp kernel keeps one pool per logical process; because every
+// event an LP touches is created, routed, queued and reclaimed on that LP's
+// single goroutine, the pool needs no locking.
+//
+// Recycling manually is only safe under a single-owner discipline. The rules
+// the kernel follows, and that any new call site must preserve:
+//
+//   - An event has exactly one owner at a time. Sends create two logical
+//     copies with distinct owners: the cancellation manager owns the original
+//     (its output-queue record), and the receiver owns the delivered copy —
+//     a pool Clone for an intra-LP send, or the wire encoding for a remote
+//     send. Neither side ever holds a pointer into the other's copy.
+//   - An event delivered to a simulation object is owned by that object's
+//     pending set until executed, then by its processed queue until fossil
+//     collection; a stashed anti-message is owned by the orphan table.
+//   - Events crossing LPs transfer ownership with the physical packet: the
+//     sender keeps nothing (the bytes travel, not the struct), and the
+//     receiving endpoint's pool materialises fresh events on decode.
+//   - Ownership ends — and the event returns to the pool — at exactly three
+//     points: annihilation (both members of a positive/anti pair die
+//     together), fossil collection at GVT (processed events, output-queue
+//     records and stale orphans below the new floor), and anti-message
+//     transmission (an anti routed to a remote LP dies once encoded).
+//   - Anything that must outlive an event it does not own keeps a by-value
+//     Key() copy, never the pointer. The cancellation manager's generation
+//     stamps and the audit layer's per-object cursors work this way.
+//
+// All methods are safe on a nil *Pool and fall back to plain allocation,
+// so optional layers (the conservative and sequential kernels, tests) can
+// run unpooled with the old lifetime rules.
+type Pool struct {
+	free   []*Event
+	allocs int64
+	reuses int64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed event, reusing a recycled one when available. The
+// returned event may carry a retained zero-length payload backing array for
+// SetPayload to grow into.
+func (p *Pool) Get() *Event {
+	if p == nil {
+		return &Event{}
+	}
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.reuses++
+		return e
+	}
+	p.allocs++
+	return &Event{}
+}
+
+// Put recycles e. The caller must be e's sole owner and must not touch e
+// afterwards. Payload backing allocated by this pool layer is retained for
+// reuse; a payload aliasing foreign memory is dropped. Safe on nil p (the
+// event is left to the garbage collector) and nil e.
+func (p *Pool) Put(e *Event) {
+	if p == nil || e == nil {
+		return
+	}
+	buf, pooled := e.Payload, e.pooledBuf
+	*e = Event{}
+	if pooled {
+		e.Payload = buf[:0]
+		e.pooledBuf = true
+	}
+	p.free = append(p.free, e)
+}
+
+// SetPayload copies src into e's payload, reusing e's pool-owned backing
+// array when it has one and allocating a pool-owned one otherwise. It never
+// writes into foreign backing. After the call e's payload is independent of
+// src, so callers may reuse src immediately.
+func (p *Pool) SetPayload(e *Event, src []byte) {
+	if !e.pooledBuf {
+		e.Payload = nil
+	}
+	if len(src) == 0 {
+		if e.Payload != nil {
+			e.Payload = e.Payload[:0]
+		}
+		return
+	}
+	e.Payload = append(e.Payload[:0], src...)
+	e.pooledBuf = true
+}
+
+// Clone returns a pooled copy of src with an independent payload. The copy
+// is the form in which an intra-LP send is delivered to its receiver, so the
+// cancellation manager's record and the receiver's queues never share a
+// pointer.
+func (p *Pool) Clone(src *Event) *Event {
+	e := p.Get()
+	buf, pooled := e.Payload, e.pooledBuf
+	*e = *src
+	e.Payload, e.pooledBuf = buf, pooled
+	p.SetPayload(e, src.Payload)
+	return e
+}
+
+// Anti returns a pooled anti-message cancelling src, equivalent to
+// src.Anti() but drawing from the pool.
+func (p *Pool) Anti(src *Event) *Event {
+	e := p.Get()
+	e.SendTime = src.SendTime
+	e.RecvTime = src.RecvTime
+	e.Sender = src.Sender
+	e.Receiver = src.Receiver
+	e.ID = src.ID
+	e.SendSeq = src.SendSeq
+	e.Sign = Negative
+	e.Kind = src.Kind
+	if e.Payload != nil {
+		e.Payload = e.Payload[:0]
+	}
+	return e
+}
+
+// DecodeInto reads one event from the front of buf like Decode, but draws
+// the event from the pool and copies the payload into pool-owned backing
+// instead of aliasing buf — so the wire buffer can be recycled as soon as
+// the packet is drained.
+func (p *Pool) DecodeInto(buf []byte) (*Event, []byte, error) {
+	e := p.Get()
+	n, err := decodeHeader(e, buf)
+	if err != nil {
+		p.Put(e)
+		return nil, buf, err
+	}
+	p.SetPayload(e, buf[headerSize:headerSize+n])
+	return e, buf[headerSize+n:], nil
+}
+
+// Stats returns the number of Get calls served by fresh allocation and by
+// the free list, respectively.
+func (p *Pool) Stats() (allocs, reuses int64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.allocs, p.reuses
+}

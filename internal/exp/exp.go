@@ -6,6 +6,7 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -58,6 +59,11 @@ type Row struct {
 	Seconds float64
 	// Rate is committed events per second.
 	Rate float64
+	// AllocsPerEvent and BytesPerEvent are the process-wide heap
+	// allocation count and bytes per committed event (runtime.MemStats
+	// deltas around the run), the hot-path allocation regression signal.
+	AllocsPerEvent float64
+	BytesPerEvent  float64
 	// Stats is the (last run's) counter tally, for diagnostics.
 	Stats stats.Counters
 }
@@ -122,26 +128,43 @@ func (f *Figure) CSV() string {
 }
 
 // runOnce executes the model and returns elapsed seconds plus the result.
+// Allocation counters come from runtime.MemStats deltas taken around each
+// run; Elapsed is measured inside Run, so the MemStats reads do not
+// contaminate the timing.
 func (tb Testbed) run(m *gowarp.Model, cfg gowarp.Config) (Row, error) {
 	var total float64
+	var mallocs, bytes uint64
+	var committed int64
 	var last *gowarp.Result
 	n := tb.Repeat
 	if n < 1 {
 		n = 1
 	}
+	var ms runtime.MemStats
 	for i := 0; i < n; i++ {
+		runtime.ReadMemStats(&ms)
+		m0, b0 := ms.Mallocs, ms.TotalAlloc
 		res, err := gowarp.Run(m, cfg)
 		if err != nil {
 			return Row{}, err
 		}
+		runtime.ReadMemStats(&ms)
+		mallocs += ms.Mallocs - m0
+		bytes += ms.TotalAlloc - b0
+		committed += res.Stats.EventsCommitted
 		total += res.Elapsed.Seconds()
 		last = res
 	}
-	return Row{
+	row := Row{
 		Seconds: total / float64(n),
 		Rate:    last.EventRate(),
 		Stats:   last.Stats,
-	}, nil
+	}
+	if committed > 0 {
+		row.AllocsPerEvent = float64(mallocs) / float64(committed)
+		row.BytesPerEvent = float64(bytes) / float64(committed)
+	}
+	return row, nil
 }
 
 // baseConfig returns the all-static baseline under the testbed environment.

@@ -21,6 +21,20 @@ type State interface {
 	Clone() State
 }
 
+// Reusable is an optional State extension for allocation-free checkpointing.
+// CopyInto copies the receiver into dst — a retired State previously produced
+// by Clone (or CopyInto) on a value of the same concrete type, no longer
+// referenced anywhere else — reusing dst's backing storage where capacity
+// allows, and returns dst. The result must be indistinguishable from a fresh
+// Clone. Implementations must fall back to Clone when dst is not the
+// receiver's concrete type. The kernel recycles fossil-collected snapshot
+// states through this hook, which removes the dominant remaining allocation
+// source (per-checkpoint deep copies) from the steady-state hot path.
+type Reusable interface {
+	State
+	CopyInto(dst State) State
+}
+
 // Context is the kernel-provided handle an object uses while executing an
 // event. A Context is only valid for the duration of the Execute or Init
 // call it was passed to.
@@ -32,8 +46,9 @@ type Context interface {
 	Now() vtime.Time
 	// Send schedules an event for the object named to at virtual time
 	// Now()+delay. The delay must be positive for events sent to self and
-	// non-negative otherwise; the kernel enforces causality. The payload is
-	// owned by the kernel after the call and must not be mutated.
+	// non-negative otherwise; the kernel enforces causality. The kernel
+	// copies the payload during the call, so callers may reuse the slice
+	// (e.g. a per-object scratch buffer) for subsequent sends.
 	Send(to event.ObjectID, delay vtime.Time, kind uint32, payload []byte)
 	// EndTime returns the virtual time at which the simulation stops;
 	// events scheduled past it are silently dropped at commit.

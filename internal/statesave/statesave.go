@@ -73,8 +73,45 @@ type Queue struct {
 	// lastEnc is the full (uncompressed) encoding of the newest snapshot,
 	// the base for the next delta. It never aliases queue storage.
 	lastEnc []byte
-	// scratch is the recycled marshal buffer.
-	scratch []byte
+	// scratch is the recycled marshal buffer; deltaScratch is the recycled
+	// delta-encoding buffer (Pack copies out of it, so it never escapes
+	// into queue storage either).
+	scratch      []byte
+	deltaScratch []byte
+
+	// spare holds retired snapshot states (clone path only): states popped by
+	// RestoreBefore or discarded by FossilCollect are exclusively queue-owned
+	// — the kernel always clones before mutating — so Save refills them
+	// through model.Reusable instead of allocating a fresh deep copy. Its
+	// length is bounded by the peak snapshot count the queue ever held.
+	spare []model.State
+}
+
+// clone produces the stored copy of st for a snapshot, reusing a retired
+// snapshot state when the state type supports it.
+func (q *Queue) clone(st model.State) model.State {
+	if r, ok := st.(model.Reusable); ok {
+		if n := len(q.spare); n > 0 {
+			dst := q.spare[n-1]
+			q.spare[n-1] = nil
+			q.spare = q.spare[:n-1]
+			return r.CopyInto(dst)
+		}
+	}
+	return st.Clone()
+}
+
+// retire returns a no-longer-restorable snapshot state to the spare list.
+// Codec-path queues skip it: their snapshots live as encodings, so the only
+// materialized state (the restore head) would accumulate uselessly.
+func (q *Queue) retire(st model.State) {
+	if q.cd != nil || st == nil {
+		return
+	}
+	if _, ok := st.(model.Reusable); !ok {
+		return
+	}
+	q.spare = append(q.spare, st)
 }
 
 // NewQueue returns a state queue primed with the object's initial
@@ -111,7 +148,7 @@ func (q *Queue) Codec() *codec.StateCodec { return q.cd }
 // timestamp) and the later snapshot wins on restore.
 func (q *Queue) Save(st model.State, meta Snapshot) SaveResult {
 	if q.cd == nil {
-		meta.State = st.Clone()
+		meta.State = q.clone(st)
 		meta.rawLen = stateBytes(meta.State)
 		q.snaps = append(q.snaps, meta)
 		return SaveResult{RawBytes: meta.rawLen, StoredBytes: meta.rawLen}
@@ -121,11 +158,13 @@ func (q *Queue) Save(st model.State, meta Snapshot) SaveResult {
 	isDelta := q.cd.NextIsDelta() && q.lastEnc != nil
 	payload := raw
 	if isDelta {
-		payload = codec.AppendDelta(nil, q.lastEnc, raw)
+		q.deltaScratch = codec.AppendDelta(q.deltaScratch[:0], q.lastEnc, raw)
+		payload = q.deltaScratch
 	} else if q.cd.ProbeNow() && q.lastEnc != nil {
 		// Full save with a Dynamic controller in full mode: compute (but do
 		// not store) the delta so the controller keeps observing the ratio.
-		d, _ := codec.Pack(cfg, codec.AppendDelta(nil, q.lastEnc, raw))
+		q.deltaScratch = codec.AppendDelta(q.deltaScratch[:0], q.lastEnc, raw)
+		d, _ := codec.Pack(cfg, q.deltaScratch)
 		q.cd.RecordProbe(len(d))
 	}
 	stored, comp := codec.Pack(cfg, payload)
@@ -150,6 +189,7 @@ func (q *Queue) Save(st model.State, meta Snapshot) SaveResult {
 func (q *Queue) RestoreBefore(t vtime.Time) Snapshot {
 	i := len(q.snaps)
 	for i > 0 && !q.snaps[i-1].Time.Before(t) {
+		q.retire(q.snaps[i-1].State)
 		q.snaps[i-1].State = nil
 		q.snaps[i-1].enc = nil
 		i--
@@ -197,6 +237,9 @@ func (q *Queue) FossilCollect(gvt vtime.Time) int {
 		s := &q.snaps[keep]
 		s.enc, s.comp = codec.Pack(q.cd.Config(), raw)
 		s.delta = false
+	}
+	for i := 0; i < keep; i++ {
+		q.retire(q.snaps[i].State)
 	}
 	n := keep
 	copy(q.snaps, q.snaps[keep:])

@@ -219,6 +219,22 @@ func (s *padState) Clone() model.State {
 	return c
 }
 
+// CopyInto implements model.Reusable, mirroring the bundled apps' states, so
+// the codec-equivalence tests below also exercise the recycling path on their
+// cloned reference queues.
+func (s *padState) CopyInto(dst model.State) model.State {
+	d, ok := dst.(*padState)
+	if !ok {
+		return s.Clone()
+	}
+	pad := d.Pad
+	*d = *s
+	if s.Pad != nil {
+		d.Pad = append(pad[:0], s.Pad...)
+	}
+	return d
+}
+
 func (s *padState) step() {
 	s.N++
 	s.Pad[int(s.N)%len(s.Pad)]++
@@ -246,6 +262,73 @@ func (s *padState) equal(o *padState) bool {
 		}
 	}
 	return true
+}
+
+// TestQueueRecyclesSnapshotStates pins the checkpoint-recycling contract:
+// states retired by FossilCollect and RestoreBefore refill later saves
+// through model.Reusable — same structs, same Pad backing — and the
+// steady-state save/collect cycle allocates nothing.
+func TestQueueRecyclesSnapshotStates(t *testing.T) {
+	src := &padState{Pad: make([]byte, 64)}
+	q := NewQueue(src, Snapshot{}, nil)
+	for i := 1; i <= 8; i++ {
+		src.step()
+		q.Save(src, Snapshot{Time: vtime.Time(i)})
+	}
+	// GVT 8 keeps the snapshot at 7 (newest strictly before) and the one at
+	// 8; the initial snapshot plus times 1..6 retire to the spare list.
+	if got := q.FossilCollect(8); got != 7 {
+		t.Fatalf("FossilCollect reclaimed %d snapshots, want 7", got)
+	}
+	if len(q.spare) != 7 {
+		t.Fatalf("spare list holds %d states, want 7", len(q.spare))
+	}
+	top := q.spare[len(q.spare)-1].(*padState)
+	padPtr := &top.Pad[0]
+	src.step()
+	q.Save(src, Snapshot{Time: 9})
+	saved := q.snaps[len(q.snaps)-1].State.(*padState)
+	if saved != top {
+		t.Error("Save did not reuse the most recently retired state struct")
+	}
+	if &saved.Pad[0] != padPtr {
+		t.Error("reused state did not retain its Pad backing array")
+	}
+	if !saved.equal(src) {
+		t.Error("recycled snapshot state differs from the saved state")
+	}
+	// The snapshot must be an independent copy, not an alias of src.
+	src.step()
+	if saved.equal(src) {
+		t.Error("recycled snapshot state aliases the live state")
+	}
+	// RestoreBefore's popped snapshots retire too.
+	before := len(q.spare)
+	q.RestoreBefore(9)
+	if len(q.spare) != before+1 {
+		t.Errorf("spare list holds %d states after restore, want %d", len(q.spare), before+1)
+	}
+	// Once warm, a save/fossil-collect cycle costs zero heap allocations.
+	if n := testing.AllocsPerRun(50, func() {
+		src.step()
+		q.Save(src, Snapshot{Time: 100})
+		q.FossilCollect(101)
+	}); n != 0 {
+		t.Errorf("steady-state save/collect cycle allocated %.1f times per run, want 0", n)
+	}
+}
+
+// TestQueueRecycleSkipsNonReusable: states without CopyInto keep the plain
+// clone path and must not accumulate on the spare list.
+func TestQueueRecycleSkipsNonReusable(t *testing.T) {
+	q := NewQueue(intState(0), Snapshot{}, nil)
+	q.save(1, 1, 1)
+	q.save(2, 2, 2)
+	q.FossilCollect(2)
+	q.RestoreBefore(2)
+	if len(q.spare) != 0 {
+		t.Errorf("spare list holds %d non-reusable states, want 0", len(q.spare))
+	}
 }
 
 func codecConfigs() []codec.Config {

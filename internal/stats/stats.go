@@ -112,6 +112,11 @@ type Counters struct {
 	// WireRawBytes is the pre-compression size of flushed event payloads;
 	// BytesSent holds the post-compression size actually charged to the wire.
 	WireRawBytes int64
+	// EventPoolAllocs counts event acquisitions the per-LP pools served by
+	// allocating fresh structs; EventPoolReuses those served from the free
+	// list. Their ratio is the pool's steady-state hit rate.
+	EventPoolAllocs int64
+	EventPoolReuses int64
 }
 
 // Merge adds o into c.
@@ -159,6 +164,8 @@ func (c *Counters) Merge(o *Counters) {
 	c.CapsuleBytes += o.CapsuleBytes
 	c.BatchedMigrations += o.BatchedMigrations
 	c.WireRawBytes += o.WireRawBytes
+	c.EventPoolAllocs += o.EventPoolAllocs
+	c.EventPoolReuses += o.EventPoolReuses
 }
 
 // HitRatio returns the overall lazy/aggressive hit ratio, or 0 when no
@@ -225,6 +232,7 @@ func (c *Counters) Report() string {
 			c.CapsuleBytes, c.CapsuleRawBytes, c.BatchedMigrations)},
 		{"GVT cycles", fmt.Sprintf("%d (%d rounds, %s)", c.GVTCycles, c.GVTRounds, c.GVTTime)},
 		{"fossils collected", fmt.Sprint(c.FossilCollected)},
+		{"event pool", fmt.Sprintf("%d allocs / %d reuses", c.EventPoolAllocs, c.EventPoolReuses)},
 	}
 	w := 0
 	for _, r := range rows {

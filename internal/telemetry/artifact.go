@@ -85,6 +85,12 @@ type BenchRow struct {
 	// savings (stored sizes; omitted for experiments that predate them).
 	CheckpointBytes int64 `json:"checkpoint_bytes,omitempty"`
 	CapsuleBytes    int64 `json:"capsule_bytes,omitempty"`
+	// AllocsPerEvent and BytesPerEvent are heap allocations and bytes per
+	// committed event (runtime.MemStats deltas around the run) — the
+	// host-independent allocation regression signal (omitted by producers
+	// that predate them).
+	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
+	BytesPerEvent  float64 `json:"bytes_per_event,omitempty"`
 }
 
 // WriteJSON marshals v with indentation and writes it to path.
