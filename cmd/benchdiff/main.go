@@ -3,7 +3,7 @@
 // baseline beyond the configured thresholds. CI runs it against the recorded
 // baselines in bench/ after every quick benchmark leg.
 //
-// Rows are matched by (series, x). Two metrics are checked per row:
+// Rows are matched by (series, x). Three metrics are checked per row:
 //
 //   - seconds: wall-clock execution time. Host-dependent, so the threshold
 //     should carry slack when the baseline was recorded on different
@@ -11,11 +11,16 @@
 //   - allocs_per_event: heap allocations per committed event. Effectively
 //     host-independent, so the threshold stays strict. Rows missing the
 //     metric on either side (older artifacts) are skipped for it.
+//   - wasted_work_ratio: rolled-back events per committed event. Scheduling-
+//     noise-sensitive but bounded, so the gate is an absolute delta rather
+//     than a relative one (a 0.001→0.01 move is noise, not a 10x
+//     regression). Rows where both sides are zero, or missing the metric
+//     (older artifacts), are skipped.
 //
 // Usage:
 //
 //	benchdiff -baseline bench/BENCH_rates.json -current bench-out/BENCH_rates.json
-//	benchdiff -baseline ... -current ... -max-seconds-regress 1.0 -max-allocs-regress 0.2
+//	benchdiff -baseline ... -current ... -max-seconds-regress 1.0 -max-allocs-regress 0.2 -max-wasted-increase 0.25
 package main
 
 import (
@@ -52,6 +57,7 @@ func main() {
 		maxAllocs    = flag.Float64("max-allocs-regress", 0.20, "maximum tolerated relative allocs-per-event regression")
 		minSeconds   = flag.Float64("min-seconds", 0.05, "noise floor: rows whose baseline seconds fall below this are not checked for wall-clock regressions")
 		minAllocs    = flag.Float64("min-allocs", 0.05, "noise floor: rows whose baseline allocs/event fall below this are not checked for allocation regressions")
+		maxWasted    = flag.Float64("max-wasted-increase", 0.25, "maximum tolerated absolute increase in the wasted-work ratio (rolled-back / committed events)")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -77,7 +83,7 @@ func main() {
 	}
 
 	fmt.Printf("benchdiff: %s vs baseline %s\n", *currentPath, *baselinePath)
-	fmt.Printf("%-14s %-8s %22s %26s\n", "series", "x", "seconds (base→cur)", "allocs/event (base→cur)")
+	fmt.Printf("%-14s %-8s %22s %26s %22s\n", "series", "x", "seconds (base→cur)", "allocs/event (base→cur)", "wasted (base→cur)")
 	regressions := 0
 	matched := 0
 	for _, c := range cur.Rows {
@@ -87,7 +93,7 @@ func main() {
 			continue
 		}
 		matched++
-		secNote, allocNote := "", ""
+		secNote, allocNote, wastedNote := "", "", ""
 		if b.Seconds >= *minSeconds {
 			if rel := c.Seconds/b.Seconds - 1; rel > *maxSeconds {
 				secNote = fmt.Sprintf("  REGRESSION +%.0f%% (limit +%.0f%%)", rel*100, *maxSeconds*100)
@@ -104,10 +110,18 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("%-14s %-8g %22s %26s%s%s\n",
+		wastedCol := "n/a"
+		if b.WastedWorkRatio > 0 || c.WastedWorkRatio > 0 {
+			wastedCol = fmt.Sprintf("%.3f → %.3f", b.WastedWorkRatio, c.WastedWorkRatio)
+			if delta := c.WastedWorkRatio - b.WastedWorkRatio; delta > *maxWasted {
+				wastedNote = fmt.Sprintf("  REGRESSION +%.3f (limit +%.3f)", delta, *maxWasted)
+				regressions++
+			}
+		}
+		fmt.Printf("%-14s %-8g %22s %26s %22s%s%s%s\n",
 			c.Series, c.X,
 			fmt.Sprintf("%.3f → %.3f", b.Seconds, c.Seconds),
-			allocCol, secNote, allocNote)
+			allocCol, wastedCol, secNote, allocNote, wastedNote)
 	}
 	if matched == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no rows matched between baseline and current — wrong files?")

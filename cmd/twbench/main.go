@@ -35,6 +35,7 @@ func benchResult(fig exp.Figure) telemetry.BenchResult {
 				Seconds:         r.Seconds,
 				EventsPerSec:    r.Rate,
 				Efficiency:      r.Stats.Efficiency(),
+				WastedWorkRatio: r.Stats.WastedWorkRatio(),
 				Rollbacks:       r.Stats.Rollbacks,
 				CheckpointBytes: r.Stats.CheckpointBytes,
 				CapsuleBytes:    r.Stats.CapsuleBytes,

@@ -7,8 +7,11 @@
 // matrix on a deliberately skewed partition with the dynamic load balancer
 // migrating objects mid-run, plus codec legs (phold-codec, smmp-codec,
 // smmp-codec-mig) that re-run it with delta checkpointing and LZ capsule
-// compression on. Any divergence in committed events or final states, or
-// any runtime invariant violation, fails the sweep with a nonzero exit.
+// compression on, plus an observability leg (smmp-obs) that re-runs it with
+// rollback tracing and the roughness sampler attached — observation must
+// never perturb simulation semantics. Any divergence in committed events or
+// final states, or any runtime invariant violation, fails the sweep with a
+// nonzero exit.
 //
 // Examples:
 //
@@ -51,6 +54,10 @@ type check struct {
 	// codec, when not Off, runs every cell with the state-codec facet on —
 	// the delta-checkpoint/compression legs of the sweep.
 	codec codec.Config
+	// observe runs every cell with the observation stack on (trace rings,
+	// rollback attribution, roughness sampler) — observation must never
+	// change simulation semantics.
+	observe bool
 }
 
 // skew rewrites part so LP 0 hosts almost everything (each other LP keeps
@@ -139,6 +146,13 @@ var checks = []check{
 		end: 1 << 40, window: 2000, balance: aggressiveBalance,
 	},
 	{
+		name: "smmp-obs",
+		build: func(seed uint64) *model.Model {
+			return smmp.New(smmp.Config{Requests: 60, Seed: seed})
+		},
+		end: 1 << 40, window: 2000, observe: true,
+	},
+	{
 		name: "phold-codec",
 		build: func(seed uint64) *model.Model {
 			return phold.New(phold.Config{
@@ -172,7 +186,7 @@ var checks = []check{
 func main() {
 	var (
 		full      = flag.Bool("full", false, "run the full 81-cell matrix (default: the 9-cell diagonal covering every policy value)")
-		modelName = flag.String("model", "", "restrict the sweep to one model: phold, qnet, smmp, raid, phold-mig, smmp-mig, phold-codec, smmp-codec, smmp-codec-mig")
+		modelName = flag.String("model", "", "restrict the sweep to one model: phold, qnet, smmp, raid, phold-mig, smmp-mig, smmp-obs, phold-codec, smmp-codec, smmp-codec-mig")
 		seed      = flag.Uint64("seed", 1, "model random seed")
 		gvtPeriod = flag.Duration("gvt-period", 200*time.Microsecond, "GVT period for the parallel legs")
 		verbose   = flag.Bool("v", false, "print the full per-cell table for every model")
@@ -199,6 +213,7 @@ func main() {
 			Lookahead:      c.lookahead,
 			Balance:        c.balance,
 			Codec:          c.codec,
+			Observe:        c.observe,
 			Cells:          cells,
 		})
 		if err != nil {

@@ -1,0 +1,88 @@
+// Command twreport is the rollback observatory's post-mortem renderer: it
+// consumes a JSONL kernel trace written by twsim -trace (and optionally the
+// run-summary JSON written by twsim -json-out), reconstructs rollback
+// causality — linking each anti-message-caused rollback to the episode that
+// emitted the anti-message — and prints the top-K cascade trees with their
+// root cause and cost, the virtual-time roughness timeline, the
+// rollback-depth histogram, and the per-LP efficiency table.
+//
+// Examples:
+//
+//	twsim -model smmp -trace storm.jsonl -json-out run.json
+//	twreport -trace storm.jsonl -summary run.json
+//	twreport -trace storm.jsonl -top 10 -html report.html
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gowarp/internal/observe"
+	"gowarp/internal/telemetry"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "JSONL kernel trace from twsim -trace (required)")
+		summary   = flag.String("summary", "", "run-summary JSON from twsim -json-out (optional: adds per-LP efficiency, roughness aggregates, object placement)")
+		topK      = flag.Int("top", 5, "number of cascade trees to print, costliest first")
+		htmlOut   = flag.String("html", "", "also write an HTML report (cascade trees, roughness SVG timeline, per-LP table) to this file")
+	)
+	flag.Parse()
+
+	if *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "twreport: -trace is required (a JSONL trace from twsim -trace)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		fatal(err)
+	}
+	events, kinds, err := observe.ParseJSONL(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var sum *telemetry.RunSummary
+	if *summary != "" {
+		raw, err := os.ReadFile(*summary)
+		if err != nil {
+			fatal(err)
+		}
+		sum = &telemetry.RunSummary{}
+		if err := json.Unmarshal(raw, sum); err != nil {
+			fatal(fmt.Errorf("%s: %w", *summary, err))
+		}
+	}
+
+	rep := observe.NewReport(events, sum)
+	rep.KindCounts = kinds
+	if err := rep.WriteText(os.Stdout, *topK); err != nil {
+		fatal(err)
+	}
+
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fatal(err)
+		}
+		err = rep.WriteHTML(f, *topK)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "twreport: wrote %s\n", *htmlOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "twreport: %v\n", err)
+	os.Exit(1)
+}

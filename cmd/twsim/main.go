@@ -10,6 +10,7 @@
 //	twsim -model phold -metrics-addr 127.0.0.1:9090 -json-out run.json
 //	twsim -model phold -partition greedy -balance=dynamic,period=4 -audit -verify
 //	twsim -model smmp -state-padding 1024 -codec delta,lz
+//	twsim -model smmp -trace storm.jsonl -json-out run.json   # then: twreport -trace storm.jsonl -summary run.json
 package main
 
 import (
@@ -71,6 +72,7 @@ func main() {
 		traceFormat = flag.String("trace-format", "jsonl", "trace format: jsonl, chrome (load in chrome://tracing or Perfetto)")
 		traceCap    = flag.Int("trace-cap", 0, "per-LP trace ring capacity in events (0 = default; oldest events are overwritten when full)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics on this address while the run executes (/metrics Prometheus text, /debug/vars expvar)")
+		roughPeriod = flag.Duration("roughness-period", time.Millisecond, "LVT-vector sampling period for the roughness observer, active whenever -trace or -metrics-addr is set (0 = off)")
 		jsonOut     = flag.String("json-out", "", "write a machine-readable run summary JSON to this file")
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -266,6 +268,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "twsim: serving metrics on http://%s/metrics\n", srv.Addr())
 	}
 
+	// The roughness sampler rides along whenever some observation sink is
+	// configured: its timeline lands in the trace's system ring and its
+	// gauges in the metrics registry.
+	var sampler *gowarp.RoughnessSampler
+	if *roughPeriod > 0 && (tracer != nil || cfg.Metrics != nil) {
+		sampler = gowarp.NewRoughnessSampler(*roughPeriod)
+		cfg.Observe = sampler
+	}
+
 	var auditor *gowarp.Auditor
 	if *auditRun {
 		auditor = gowarp.NewAuditor()
@@ -297,11 +308,17 @@ func main() {
 			Efficiency:         res.Stats.Efficiency(),
 			HitRatio:           res.Stats.HitRatio(),
 			MeanRollbackLength: res.Stats.MeanRollbackLength(),
+			WastedWorkRatio:    res.Stats.WastedWorkRatio(),
 			FinalStateHash:     gowarp.HashStates(res.FinalStates),
 			Stats:              res.Stats,
+			PerLP:              res.PerLP,
 			PerObject:          res.PerObject,
 			TraceDropped:       tracer.Dropped(),
 			FinalPartition:     res.FinalPartition,
+		}
+		if sampler != nil {
+			sum.Roughness = sampler.Summary()
+			sum.RollbackDepthHist = sampler.DepthHist()
 		}
 		if err := gowarp.WriteJSON(*jsonOut, sum); err != nil {
 			fatal(err)

@@ -52,6 +52,8 @@
 package gowarp
 
 import (
+	"time"
+
 	"gowarp/internal/apps/logic"
 	"gowarp/internal/apps/phold"
 	"gowarp/internal/apps/qnet"
@@ -65,6 +67,7 @@ import (
 	"gowarp/internal/core"
 	"gowarp/internal/event"
 	"gowarp/internal/model"
+	"gowarp/internal/observe"
 	"gowarp/internal/partition"
 	"gowarp/internal/pq"
 	"gowarp/internal/statesave"
@@ -296,7 +299,23 @@ type (
 	// RunSummary is the machine-readable per-run artifact written by
 	// twsim -json-out.
 	RunSummary = telemetry.RunSummary
+	// RoughnessSampler is the observation sampler (set Config.Observe): LPs
+	// publish their local virtual times into its atomic slots and a
+	// background goroutine periodically derives the virtual-time roughness —
+	// LVT width, variance, the lagging LP, wasted-work ratio — recording a
+	// timeline into the tracer and live gauges into the metrics registry.
+	RoughnessSampler = observe.Sampler
+	// RoughnessSummary is the sampler's run-level aggregate, embedded in
+	// RunSummary when sampling was on.
+	RoughnessSummary = telemetry.RoughnessSummary
 )
+
+// NewRoughnessSampler returns an observation sampler taking one LVT-vector
+// sample per period (<= 0 selects the 1ms default). Set it as Config.Observe;
+// it is inert until the run binds it.
+func NewRoughnessSampler(period time.Duration) *RoughnessSampler {
+	return observe.NewSampler(period)
+}
 
 // NewTracer returns a tracer whose per-LP rings hold capacity events each
 // (<= 0 selects the default, ~64k). When a ring fills, the oldest events

@@ -20,8 +20,10 @@ import (
 	"gowarp/internal/conservative"
 	"gowarp/internal/core"
 	"gowarp/internal/model"
+	"gowarp/internal/observe"
 	"gowarp/internal/pq"
 	"gowarp/internal/statesave"
+	"gowarp/internal/telemetry"
 	"gowarp/internal/vtime"
 )
 
@@ -138,6 +140,12 @@ type Options struct {
 	// reconstruction and capsule round-trips have to reproduce the sequential
 	// reference's final-state hash byte for byte.
 	Codec codec.Config
+	// Observe, when set, attaches the full observation stack to every
+	// parallel leg: a trace ring per LP, rollback attribution, and the
+	// roughness sampler on a tight period. Observation must be
+	// non-perturbing — every differential and invariant check applies
+	// unchanged with it on.
+	Observe bool
 	// Cells selects the matrix subset to run (nil = the full Matrix()).
 	Cells []Cell
 }
@@ -307,6 +315,10 @@ func runCell(m *model.Model, cell Cell, opts Options, gvtPeriod time.Duration,
 		Balance:        opts.Balance,
 		Codec:          opts.Codec,
 		Audit:          au,
+	}
+	if opts.Observe {
+		cfg.Tracer = telemetry.NewTracer(1 << 12)
+		cfg.Observe = observe.NewSampler(200 * time.Microsecond)
 	}
 	out := CellResult{Cell: cell}
 	res, err := core.Run(m, cfg)

@@ -3,15 +3,18 @@ package core
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"gowarp/internal/apps/phold"
 	"gowarp/internal/cancel"
 	"gowarp/internal/codec"
 	"gowarp/internal/event"
 	"gowarp/internal/model"
+	"gowarp/internal/observe"
 	"gowarp/internal/pq"
 	"gowarp/internal/route"
 	"gowarp/internal/statesave"
+	"gowarp/internal/telemetry"
 	"gowarp/internal/vtime"
 )
 
@@ -116,6 +119,50 @@ func TestExecuteLoopZeroAlloc(t *testing.T) {
 		t.Errorf("steady-state execute loop allocated %.2f times per 64-event round, want 0", n)
 	}
 }
+
+// TestExecuteLoopZeroAllocObserved re-measures the same steady-state loop
+// with the observation layer attached — a bound trace ring and roughness
+// sampler, exactly what twsim -trace wires up. The LP-side observation cost
+// (LVT store per event, progress stores and depth-histogram adds at GVT)
+// must stay allocation-free too: observation never buys insight with hot-path
+// garbage.
+func TestExecuteLoopZeroAllocObserved(t *testing.T) {
+	lp := newAllocHarness()
+	tr := telemetry.NewTracer(1 << 10)
+	tr.Bind(1, time.Now())
+	lp.tr = tr.LP(0)
+	obs := newTestSampler()
+	obs.Bind(1, tr.System())
+	lp.obs = obs
+	step := func() {
+		lp.drainDeferred()
+		slot, tm := lp.sched.Min()
+		if slot < 0 || tm == vtime.PosInf {
+			panic("alloc harness drained")
+		}
+		o := lp.objs[slot]
+		o.executeNext()
+		lp.refresh(o)
+		lp.obs.PublishLVT(lp.id, int64(o.lvt))
+	}
+	round := func() {
+		for i := 0; i < 64; i++ {
+			step()
+		}
+		obs.RecordRollback(3) // the rollback path's histogram hook
+		lp.applyGVT(lp.localMin())
+	}
+	for i := 0; i < 16; i++ {
+		round()
+	}
+	if n := testing.AllocsPerRun(64, round); n != 0 {
+		t.Errorf("observed execute loop allocated %.2f times per 64-event round, want 0", n)
+	}
+}
+
+// newTestSampler returns a bound-ready sampler whose ticker never fires, so
+// only the LP-side hooks are measured.
+func newTestSampler() *observe.Sampler { return observe.NewSampler(time.Hour) }
 
 // TestExecutePathAllocationBudget is the facets-enabled companion: with
 // dynamic cancellation, dynamic checkpointing and the delta+lz state codec

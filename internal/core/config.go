@@ -17,6 +17,7 @@ import (
 	"gowarp/internal/codec"
 	"gowarp/internal/comm"
 	"gowarp/internal/model"
+	"gowarp/internal/observe"
 	"gowarp/internal/pq"
 	"gowarp/internal/statesave"
 	"gowarp/internal/stats"
@@ -77,6 +78,16 @@ type Config struct {
 	// interval, aggregation window. Serve it with telemetry.Serve to scrape
 	// a running simulation.
 	Metrics *telemetry.Registry
+
+	// Observe, when non-nil, is the observation sampler: LPs publish their
+	// local virtual times (after each event) and progress counters (at each
+	// GVT application) into its atomic slots, the rollback path feeds its
+	// depth histogram, and its goroutine samples the LVT vector on a
+	// wall-clock period — recording roughness events into the tracer's
+	// system ring and live gauges into Metrics when those are also set.
+	// Nil disables observation at the cost of a pointer comparison per
+	// hook site; observation never changes simulation behavior.
+	Observe *observe.Sampler
 
 	// Audit, when non-nil, checks the Time Warp invariants on-line while the
 	// run executes — commit/GVT safety, execution order, anti-message

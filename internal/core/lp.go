@@ -10,6 +10,7 @@ import (
 	"gowarp/internal/comm"
 	"gowarp/internal/event"
 	"gowarp/internal/gvt"
+	"gowarp/internal/observe"
 	"gowarp/internal/pq"
 	"gowarp/internal/route"
 	"gowarp/internal/statesave"
@@ -77,6 +78,11 @@ type lpRun struct {
 	tr          *telemetry.LPTrace
 	met         *runMetrics
 	lastGVTWall time.Time
+
+	// obs is the observation sampler (nil when observation is off): the LP
+	// publishes its LVT after each execution and its progress counters at
+	// each GVT application, and the rollback path feeds its histogram.
+	obs *observe.Sampler
 
 	// au is this LP's invariant-audit recorder (nil when auditing is
 	// disabled; hot paths guard on the pointer so the off path costs one
@@ -336,6 +342,10 @@ func (lp *lpRun) applyGVT(g vtime.Time) {
 	if lp.cfg.Timeline {
 		lp.recordSample(g)
 	}
+	if lp.obs != nil {
+		lp.obs.PublishGVT(int64(g))
+		lp.obs.PublishProgress(lp.id, lp.st.EventsCommitted, lp.st.EventsRolledBack)
+	}
 	if lp.met != nil {
 		lp.publishMetrics(g)
 	}
@@ -381,6 +391,9 @@ func (lp *lpRun) run() {
 			o := lp.objs[slot]
 			o.executeNext()
 			lp.refresh(o)
+			if lp.obs != nil {
+				lp.obs.PublishLVT(lp.id, int64(o.lvt))
+			}
 			// Yield between events so peers' control traffic (GVT tokens,
 			// stragglers) flows at event granularity even when the host
 			// has fewer cores than LPs; without this a spinning LP holds

@@ -20,6 +20,7 @@ type runMetrics struct {
 	rollbacks    *telemetry.Metric
 	efficiency   *telemetry.Metric
 	rollbackRate *telemetry.Metric
+	wastedWork   *telemetry.Metric
 	hitRatio     *telemetry.Metric
 	meanChi      *telemetry.Metric
 	lazyObjects  *telemetry.Metric
@@ -47,6 +48,7 @@ func newRunMetrics(reg *telemetry.Registry, numLPs int) *runMetrics {
 		rollbacks:    reg.Counter("gowarp_rollbacks_total", "Rollback episodes.", true),
 		efficiency:   reg.Gauge("gowarp_efficiency", "Committed / processed events (1.0 = no wasted optimism).", true),
 		rollbackRate: reg.Gauge("gowarp_rollback_rate", "Rollback episodes per processed event.", true),
+		wastedWork:   reg.Gauge("gowarp_wasted_work_ratio", "Rolled-back / committed events (wasted optimistic work per unit of useful progress).", true),
 		hitRatio:     reg.Gauge("gowarp_hit_ratio", "Cumulative lazy-cancellation hit ratio.", true),
 		meanChi:      reg.Gauge("gowarp_mean_checkpoint_interval", "Mean checkpoint interval chi across hosted objects.", true),
 		lazyObjects:  reg.Gauge("gowarp_lazy_objects", "Hosted objects currently under lazy cancellation.", true),
@@ -87,6 +89,7 @@ func (lp *lpRun) publishMetrics(g vtime.Time) {
 	if st.EventsProcessed > 0 {
 		m.rollbackRate.Set(id, float64(st.Rollbacks)/float64(st.EventsProcessed))
 	}
+	m.wastedWork.Set(id, st.WastedWorkRatio())
 	m.hitRatio.Set(id, st.HitRatio())
 	m.physMsgs.Set(id, float64(st.PhysicalMsgsSent))
 	m.antiMsgs.Set(id, float64(st.AntiMsgsSent))

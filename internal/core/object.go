@@ -174,6 +174,11 @@ func (o *simObject) rollback(straggler *event.Event, isAnti bool) {
 	if o.au != nil {
 		o.au.RollbackStart(straggler)
 	}
+	// Anti-messages emitted below (aggressive cancellation inside
+	// OnRollback) are charged to this episode by delta; lazy cancellation
+	// defers its antis to later forward execution, so a lazy episode
+	// legitimately reports zero here.
+	antiBase := lp.st.AntiMsgsSent
 	o.out.OnRollback(straggler)
 
 	// Requeue the suffix of processed events ordered after the straggler.
@@ -233,7 +238,11 @@ func (o *simObject) rollback(straggler *event.Event, isAnti bool) {
 	}
 	o.ckpt.OnRestore(len(o.processed) - start)
 
-	lp.tr.Rollback(int32(o.id), int64(straggler.RecvTime), isAnti, rolled, coasted, coastDur)
+	lp.tr.Rollback(int32(o.id), int32(straggler.Sender), int64(straggler.SendTime), int64(straggler.RecvTime),
+		isAnti, rolled, coasted, lp.st.AntiMsgsSent-antiBase, coastDur)
+	if lp.obs != nil {
+		lp.obs.RecordRollback(rolled)
+	}
 
 	if len(o.processed) > 0 {
 		o.lastExec = o.processed[len(o.processed)-1]

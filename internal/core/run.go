@@ -47,6 +47,13 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 	if cfg.Metrics != nil {
 		met = newRunMetrics(cfg.Metrics, numLPs)
 	}
+	// The sampler binds after the registry (Bind above cleared it) so its
+	// series survive; it records into the tracer's system ring (nil when
+	// tracing is off — the sampler is nil-safe about both).
+	cfg.Observe.Bind(numLPs, cfg.Tracer.System())
+	if cfg.Metrics != nil {
+		cfg.Observe.BindMetrics(cfg.Metrics)
+	}
 
 	net := comm.NewNetwork(numLPs, cfg.Cost, cfg.InboxDepth)
 	lps := make([]*lpRun, numLPs)
@@ -62,6 +69,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 			started:  start,
 			tr:       cfg.Tracer.LP(i),
 			met:      met,
+			obs:      cfg.Observe,
 			au:       cfg.Audit.LP(i),
 			local:    make([]*simObject, len(m.Objects)),
 			outbound: make(map[event.ObjectID]int),
@@ -123,6 +131,12 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 	for _, lp := range lps {
 		lp.sched = pq.NewScheduleHeap(len(lp.objs))
 	}
+	// Start the sampling goroutine for the LPs' lifetime; the deferred Stop
+	// takes a final sample before the caller reads the aggregates, so even
+	// runs shorter than the period get a timeline entry.
+	cfg.Observe.Start()
+	defer cfg.Observe.Stop()
+
 	var wg sync.WaitGroup
 	panics := make([]interface{}, numLPs)
 	for _, lp := range lps {

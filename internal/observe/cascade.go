@@ -1,0 +1,235 @@
+package observe
+
+import (
+	"sort"
+	"time"
+
+	"gowarp/internal/telemetry"
+)
+
+// This file reconstructs rollback cascades from an attributed trace.
+//
+// Every rollback record carries its cause: the source object of the
+// triggering message (straggler or anti-message) and that message's send
+// and receive virtual times. A straggler-caused rollback is a cascade
+// root — some object genuinely received a message in its past. An
+// anti-message-caused rollback is secondary: the anti-message exists only
+// because its sender rolled back and cancelled the output. Linking each
+// anti-caused rollback to the sender's rollback that cancelled the output
+// turns a flat rollback log into a forest of cascade trees, whose
+// aggregated cost answers the operator's first question: where did the
+// wasted work come from, and how much did each root cause?
+//
+// The link is inferred, not carried on the wire (tagging anti-messages
+// with a cascade ID would perturb the wire format and the zero-allocation
+// send path): rollback R on object X caused by an anti-message from object
+// S attaches to the latest prior rollback P on S whose rollback point lies
+// at or before the cancelled output's send time (an undone event at
+// virtual time t emitted outputs with send time t, and rollback past a
+// straggler at r undoes exactly the events after r, so P can have
+// cancelled the output iff P.RecvVT <= R.SendVT). Wall-clock order breaks
+// the remaining ambiguity; linkSlack absorbs the recording race where the
+// victim logs its rollback before the culprit finishes coasting and logs
+// its own.
+
+// linkSlack is how far past the child's wall time a parent rollback record
+// may appear and still be linked. Anti-messages are emitted at the start
+// of a rollback episode but the episode is recorded at its end (after
+// coast forward), so a fast victim can log before its culprit does.
+const linkSlack = 5 * time.Millisecond
+
+// Rollback is one attributed rollback episode extracted from a trace.
+type Rollback struct {
+	// Wall is the recording time since the run started; LP the recording
+	// logical process; Object the victim object.
+	Wall   time.Duration
+	LP     int32
+	Object int32
+	// Anti distinguishes the cause: a straggler (positive message in the
+	// processed past, a cascade root) or an anti-message (secondary).
+	Anti bool
+	// Src is the object that sent the causing message; SendVT/RecvVT its
+	// send and receive virtual times.
+	Src    int32
+	SendVT int64
+	RecvVT int64
+	// Rolled is the number of events undone, Coasted the coast-forward
+	// re-executions, Antis the anti-messages this episode emitted, and
+	// CoastDur the coast-forward wall cost.
+	Rolled   int64
+	Coasted  int64
+	Antis    int64
+	CoastDur time.Duration
+
+	// Parent is the index of the rollback this one cascades from (-1 for
+	// roots and unattributed episodes); Children are the indices that
+	// cascade from this one. Filled by Link.
+	Parent   int
+	Children []int
+}
+
+// ExtractRollbacks pulls the rollback records out of a merged trace, in
+// wall order, with Parent initialized to -1.
+func ExtractRollbacks(evs []telemetry.Event) []Rollback {
+	var out []Rollback
+	for _, ev := range evs {
+		if ev.Kind != telemetry.KindRollback {
+			continue
+		}
+		out = append(out, Rollback{
+			Wall:     ev.Wall,
+			LP:       ev.LP,
+			Object:   ev.Object,
+			Anti:     ev.A == telemetry.CauseAnti,
+			Src:      int32(ev.D),
+			SendVT:   ev.E,
+			RecvVT:   ev.VT,
+			Rolled:   ev.B,
+			Coasted:  ev.C,
+			Antis:    ev.F,
+			CoastDur: ev.Dur,
+			Parent:   -1,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Wall < out[j].Wall })
+	return out
+}
+
+// Link attributes each anti-message-caused rollback to its parent episode,
+// filling Parent and Children in place. rbs must be in wall order (as
+// ExtractRollbacks returns). Episodes whose parent fell out of the trace
+// ring stay roots of their own subtree (Parent == -1).
+func Link(rbs []Rollback) {
+	// Index rollback episodes by victim object, preserving wall order.
+	byObject := map[int32][]int{}
+	for i := range rbs {
+		byObject[rbs[i].Object] = append(byObject[rbs[i].Object], i)
+	}
+	for i := range rbs {
+		r := &rbs[i]
+		if !r.Anti {
+			continue
+		}
+		// Latest episode on the source object that could have cancelled
+		// the output: rollback point at or before the output's send time,
+		// recorded no later than slack past this episode.
+		best := -1
+		for _, j := range byObject[r.Src] {
+			if j == i {
+				continue
+			}
+			p := &rbs[j]
+			if p.Wall > r.Wall+linkSlack {
+				break // candidates are in wall order
+			}
+			if p.RecvVT <= r.SendVT {
+				best = j
+			}
+		}
+		if best >= 0 {
+			r.Parent = best
+			rbs[best].Children = append(rbs[best].Children, i)
+		}
+	}
+}
+
+// Cascade aggregates one attributed cascade tree.
+type Cascade struct {
+	// Root indexes the root rollback in the slice handed to BuildCascades.
+	Root int
+	// Members is the number of rollback episodes in the tree, which is
+	// also the number of checkpoint restores the cascade forced.
+	Members int
+	// Rolled, Coasted and Antis sum the per-episode costs over the tree.
+	Rolled  int64
+	Coasted int64
+	Antis   int64
+	// Depth is the longest root-to-leaf chain (1 for a lone rollback).
+	Depth int
+}
+
+// BuildCascades groups linked rollbacks into cascade trees and aggregates
+// per-tree cost, ordered by events undone (descending), ties by wall time.
+// Call Link first.
+func BuildCascades(rbs []Rollback) []Cascade {
+	var out []Cascade
+	for i := range rbs {
+		if rbs[i].Parent != -1 {
+			continue
+		}
+		c := Cascade{Root: i}
+		// Iterative DFS; the visited guard makes a (theoretically
+		// impossible, heuristically conceivable) link cycle harmless.
+		visited := map[int]bool{}
+		type frame struct{ idx, depth int }
+		stack := []frame{{i, 1}}
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[f.idx] {
+				continue
+			}
+			visited[f.idx] = true
+			r := &rbs[f.idx]
+			c.Members++
+			c.Rolled += r.Rolled
+			c.Coasted += r.Coasted
+			c.Antis += r.Antis
+			if f.depth > c.Depth {
+				c.Depth = f.depth
+			}
+			for _, ch := range r.Children {
+				stack = append(stack, frame{ch, f.depth + 1})
+			}
+		}
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Rolled != out[j].Rolled {
+			return out[i].Rolled > out[j].Rolled
+		}
+		return rbs[out[i].Root].Wall < rbs[out[j].Root].Wall
+	})
+	return out
+}
+
+// RoughnessSample is one decoded virtual-time roughness observation.
+type RoughnessSample struct {
+	// Wall is the sample time since the run started.
+	Wall time.Duration
+	// GVT is the last applied estimate at the sample (math.MinInt64 until
+	// the first finite computation).
+	GVT int64
+	// Min, Max, Mean and Std describe the finite LVTs across LPs; Laggard
+	// is the LP holding the minimum.
+	Min, Max, Mean, Std int64
+	// Wasted is the run-wide rolled-back / committed ratio at the sample.
+	Wasted  float64
+	Laggard int32
+}
+
+// Width is the LVT spread at the sample.
+func (s RoughnessSample) Width() int64 { return s.Max - s.Min }
+
+// ExtractRoughness pulls the roughness samples out of a merged trace, in
+// wall order.
+func ExtractRoughness(evs []telemetry.Event) []RoughnessSample {
+	var out []RoughnessSample
+	for _, ev := range evs {
+		if ev.Kind != telemetry.KindRoughness {
+			continue
+		}
+		out = append(out, RoughnessSample{
+			Wall:    ev.Wall,
+			GVT:     ev.VT,
+			Min:     ev.A,
+			Max:     ev.B,
+			Mean:    ev.C,
+			Std:     ev.D,
+			Wasted:  float64(ev.E) / 1000,
+			Laggard: ev.Object,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Wall < out[j].Wall })
+	return out
+}

@@ -1,0 +1,88 @@
+package observe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"gowarp/internal/telemetry"
+)
+
+// ParseJSONL decodes a JSONL trace (as written by telemetry.WriteJSONL)
+// back into telemetry events, reversing the exporter's field naming for
+// the kinds the report consumes (rollback, roughness, gvt). Lines of other
+// kinds are tallied but not reconstructed — the report only needs their
+// counts. Blank lines are skipped; a malformed line is an error.
+func ParseJSONL(r io.Reader) ([]telemetry.Event, map[string]int64, error) {
+	var evs []telemetry.Event
+	counts := map[string]int64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec struct {
+			WallUs  float64 `json:"wall_us"`
+			Kind    string  `json:"kind"`
+			LP      int32   `json:"lp"`
+			Object  int32   `json:"object"`
+			VT      int64   `json:"vt"`
+			Cause   string  `json:"cause"`
+			Src     int64   `json:"src"`
+			SendVT  int64   `json:"send_vt"`
+			Rolled  int64   `json:"rolled"`
+			Coasted int64   `json:"coasted"`
+			Antis   int64   `json:"antis"`
+			CoastUs float64 `json:"coast_us"`
+			Rounds  int64   `json:"rounds"`
+			CycleUs float64 `json:"cycle_us"`
+			GVT     int64   `json:"gvt"`
+			MinLVT  int64   `json:"min_lvt"`
+			MaxLVT  int64   `json:"max_lvt"`
+			MeanLVT int64   `json:"mean_lvt"`
+			StdLVT  int64   `json:"stddev_lvt"`
+			LagLP   int32   `json:"lag_lp"`
+			Wasted  float64 `json:"wasted"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, nil, fmt.Errorf("observe: trace line %d: %w", lineNo, err)
+		}
+		counts[rec.Kind]++
+		wall := time.Duration(rec.WallUs * 1e3)
+		switch rec.Kind {
+		case "rollback":
+			cause := int64(telemetry.CauseStraggler)
+			if rec.Cause == "anti" {
+				cause = telemetry.CauseAnti
+			}
+			evs = append(evs, telemetry.Event{
+				Kind: telemetry.KindRollback, Wall: wall, LP: rec.LP, Object: rec.Object,
+				VT: rec.VT, A: cause, B: rec.Rolled, C: rec.Coasted,
+				D: rec.Src, E: rec.SendVT, F: rec.Antis,
+				Dur: time.Duration(rec.CoastUs * 1e3),
+			})
+		case "roughness":
+			evs = append(evs, telemetry.Event{
+				Kind: telemetry.KindRoughness, Wall: wall, LP: rec.LP, Object: rec.LagLP,
+				VT: rec.GVT, A: rec.MinLVT, B: rec.MaxLVT, C: rec.MeanLVT, D: rec.StdLVT,
+				E: int64(math.Round(rec.Wasted * 1000)),
+			})
+		case "gvt":
+			evs = append(evs, telemetry.Event{
+				Kind: telemetry.KindGVT, Wall: wall, LP: rec.LP, Object: -1,
+				VT: rec.VT, A: rec.Rounds, Dur: time.Duration(rec.CycleUs * 1e3),
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("observe: reading trace: %w", err)
+	}
+	return evs, counts, nil
+}

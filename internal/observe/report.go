@@ -1,0 +1,430 @@
+package observe
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"gowarp/internal/telemetry"
+)
+
+// Report is a fully derived run report: attributed rollbacks grouped into
+// cascades, the roughness timeline, and (when available) the RunSummary
+// artifact for run-level and per-LP context. Build one with NewReport and
+// render it with WriteText or WriteHTML — cmd/twreport is a thin wrapper
+// around exactly that.
+type Report struct {
+	Summary    *telemetry.RunSummary
+	Rollbacks  []Rollback
+	Cascades   []Cascade
+	Samples    []RoughnessSample
+	KindCounts map[string]int64
+}
+
+// NewReport derives a report from a merged trace and an optional summary.
+func NewReport(evs []telemetry.Event, sum *telemetry.RunSummary) *Report {
+	rbs := ExtractRollbacks(evs)
+	Link(rbs)
+	return &Report{
+		Summary:   sum,
+		Rollbacks: rbs,
+		Cascades:  BuildCascades(rbs),
+		Samples:   ExtractRoughness(evs),
+	}
+}
+
+// vtStr renders a virtual time, symbolically for the infinities (telemetry
+// carries them as raw int64 sentinels).
+func vtStr(v int64) string {
+	switch v {
+	case math.MaxInt64:
+		return "+inf"
+	case math.MinInt64:
+		return "-inf"
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.3fms", float64(d)/1e6) }
+
+// objLabel names an object, with its hosting LP when the final partition
+// is known.
+func objLabel(obj int32, part []int) string {
+	if obj >= 0 && int(obj) < len(part) {
+		return fmt.Sprintf("obj %d (LP %d)", obj, part[obj])
+	}
+	return fmt.Sprintf("obj %d", obj)
+}
+
+// nodeLine renders one rollback episode for the cascade tree.
+func nodeLine(r *Rollback, part []int) string {
+	cause := "straggler"
+	if r.Anti {
+		cause = "anti-message"
+	}
+	return fmt.Sprintf("@%s LP%d obj %d <- %s from %s send_vt=%s recv_vt=%s: %d undone, %d coasted, %d antis",
+		ms(r.Wall), r.LP, r.Object, cause, objLabel(r.Src, part),
+		vtStr(r.SendVT), vtStr(r.RecvVT), r.Rolled, r.Coasted, r.Antis)
+}
+
+// maxTreeNodes caps the episodes printed per cascade tree; pathological
+// storms are summarized rather than dumped.
+const maxTreeNodes = 16
+
+// writeTree renders one cascade as an indented tree rooted at idx.
+func writeTree(w io.Writer, rbs []Rollback, idx int, part []int) {
+	var printed int
+	var rec func(i int, prefix string, last bool)
+	rec = func(i int, prefix string, last bool) {
+		if printed >= maxTreeNodes {
+			return
+		}
+		printed++
+		connector, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			connector, childPrefix = "└─ ", prefix+"   "
+		}
+		if prefix == "" && last {
+			connector, childPrefix = "", "   "
+		}
+		fmt.Fprintf(w, "  %s%s%s\n", prefix, connector, nodeLine(&rbs[i], part))
+		kids := rbs[i].Children
+		for k, ch := range kids {
+			rec(ch, childPrefix, k == len(kids)-1)
+		}
+	}
+	rec(idx, "", true)
+	total := treeSize(rbs, idx)
+	if total > printed {
+		fmt.Fprintf(w, "     … %d more episodes in this cascade\n", total-printed)
+	}
+}
+
+func treeSize(rbs []Rollback, idx int) int {
+	seen := map[int]bool{}
+	stack := []int{idx}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		stack = append(stack, rbs[i].Children...)
+	}
+	return len(seen)
+}
+
+// bar renders a crude horizontal bar of v scaled against max.
+func bar(v, max int64, width int) string {
+	if max <= 0 || v <= 0 {
+		return ""
+	}
+	n := int(v * int64(width) / max)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// subsample picks at most n indices evenly across [0, total).
+func subsample(total, n int) []int {
+	if total <= n {
+		out := make([]int, total)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = i * (total - 1) / (n - 1)
+	}
+	return out
+}
+
+// secondaryCount returns how many rollbacks were linked to a parent.
+func (r *Report) secondaryCount() int {
+	n := 0
+	for i := range r.Rollbacks {
+		if r.Rollbacks[i].Parent != -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// depthHist returns the rollback-depth histogram: from the summary when
+// present, else recomputed from the extracted rollbacks.
+func (r *Report) depthHist() []int64 {
+	if r.Summary != nil && len(r.Summary.RollbackDepthHist) > 0 {
+		return r.Summary.RollbackDepthHist
+	}
+	if len(r.Rollbacks) == 0 {
+		return nil
+	}
+	h := make([]int64, len(DepthBounds)+1)
+	for i := range r.Rollbacks {
+		b := 0
+		for b < len(DepthBounds) && r.Rollbacks[i].Rolled > DepthBounds[b] {
+			b++
+		}
+		h[b]++
+	}
+	return h
+}
+
+// maxRoughnessRows bounds the text roughness timeline; longer runs are
+// subsampled evenly.
+const maxRoughnessRows = 24
+
+// WriteText renders the report as an aligned plain-text document, showing
+// the topK most expensive cascade trees.
+func (r *Report) WriteText(w io.Writer, topK int) error {
+	var b strings.Builder
+	var part []int
+
+	b.WriteString("=== gowarp run report ===\n")
+	if s := r.Summary; s != nil {
+		part = s.FinalPartition
+		fmt.Fprintf(&b, "model %s: %.3fs wall, %.0f events/s, efficiency %.3f, wasted-work ratio %.3f\n",
+			s.Model, s.ElapsedSeconds, s.EventsPerSec, s.Efficiency, s.WastedWorkRatio)
+		fmt.Fprintf(&b, "events: %d committed, %d rolled back; %d rollbacks (mean length %.2f); final GVT %s\n",
+			s.Stats.EventsCommitted, s.Stats.EventsRolledBack, s.Stats.Rollbacks,
+			s.MeanRollbackLength, s.FinalGVT)
+		if s.TraceDropped > 0 {
+			fmt.Fprintf(&b, "note: %d trace events dropped to ring wraparound; attribution below is over the retained window\n", s.TraceDropped)
+		}
+	}
+
+	b.WriteString("\n--- rollback cascades ---\n")
+	if len(r.Rollbacks) == 0 {
+		b.WriteString("no rollbacks in trace\n")
+	} else {
+		fmt.Fprintf(&b, "%d rollback episodes in %d cascades (%d secondary episodes attributed to a parent)\n",
+			len(r.Rollbacks), len(r.Cascades), r.secondaryCount())
+		if topK <= 0 {
+			topK = 5
+		}
+		for i, c := range r.Cascades {
+			if i >= topK {
+				fmt.Fprintf(&b, "… %d more cascades\n", len(r.Cascades)-topK)
+				break
+			}
+			root := &r.Rollbacks[c.Root]
+			fmt.Fprintf(&b, "#%d root: LP%d obj %d, cause %s — cost: %d events undone, %d restores, %d antis, %d coasted, depth %d\n",
+				i+1, root.LP, root.Object, objLabel(root.Src, part),
+				c.Rolled, c.Members, c.Antis, c.Coasted, c.Depth)
+			writeTree(&b, r.Rollbacks, c.Root, part)
+		}
+	}
+
+	if h := r.depthHist(); h != nil {
+		b.WriteString("\n--- rollback depth histogram (events undone per episode) ---\n")
+		var maxC int64
+		for _, c := range h {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for i, c := range h {
+			label := fmt.Sprintf(">%d", DepthBounds[len(DepthBounds)-1])
+			if i < len(DepthBounds) {
+				label = fmt.Sprintf("<=%d", DepthBounds[i])
+			}
+			if c == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%7s  %7d  %s\n", label, c, bar(c, maxC, 40))
+		}
+	}
+
+	b.WriteString("\n--- virtual-time roughness timeline ---\n")
+	if len(r.Samples) == 0 {
+		b.WriteString("no roughness samples in trace (run with the observation sampler enabled)\n")
+	} else {
+		var maxW int64
+		for _, s := range r.Samples {
+			if s.Width() > maxW {
+				maxW = s.Width()
+			}
+		}
+		fmt.Fprintf(&b, "%10s %12s %12s %12s %8s %8s %7s %4s\n",
+			"wall", "gvt", "min_lvt", "max_lvt", "width", "stddev", "wasted", "lag")
+		for _, i := range subsample(len(r.Samples), maxRoughnessRows) {
+			s := r.Samples[i]
+			fmt.Fprintf(&b, "%10s %12s %12s %12s %8d %8d %7.3f %4d  %s\n",
+				ms(s.Wall), vtStr(s.GVT), vtStr(s.Min), vtStr(s.Max),
+				s.Width(), s.Std, s.Wasted, s.Laggard, bar(s.Width(), maxW, 20))
+		}
+		if rs := r.roughnessSummary(); rs != nil {
+			fmt.Fprintf(&b, "%d samples: mean width %.1f, max width %d, mean stddev %.1f\n",
+				rs.Samples, rs.MeanWidth, rs.MaxWidth, rs.MeanStdDev)
+		}
+	}
+
+	if s := r.Summary; s != nil && len(s.PerLP) > 0 {
+		b.WriteString("\n--- per-LP efficiency ---\n")
+		fmt.Fprintf(&b, "%4s %12s %12s %12s %6s %7s %10s %8s\n",
+			"lp", "processed", "committed", "rolledback", "eff", "wasted", "rollbacks", "antis")
+		for i := range s.PerLP {
+			c := &s.PerLP[i]
+			fmt.Fprintf(&b, "%4d %12d %12d %12d %6.3f %7.3f %10d %8d\n",
+				i, c.EventsProcessed, c.EventsCommitted, c.EventsRolledBack,
+				c.Efficiency(), c.WastedWorkRatio(), c.Rollbacks, c.AntiMsgsSent)
+		}
+	}
+
+	if len(r.KindCounts) > 0 {
+		b.WriteString("\n--- trace contents ---\n")
+		kinds := make([]string, 0, len(r.KindCounts))
+		for k := range r.KindCounts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, "%-20s %d\n", k, r.KindCounts[k])
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// roughnessSummary aggregates the extracted samples (preferring the run
+// artifact's own summary when present).
+func (r *Report) roughnessSummary() *telemetry.RoughnessSummary {
+	if r.Summary != nil && r.Summary.Roughness != nil {
+		return r.Summary.Roughness
+	}
+	if len(r.Samples) == 0 {
+		return nil
+	}
+	out := &telemetry.RoughnessSummary{Samples: int64(len(r.Samples))}
+	var sumW, sumS float64
+	for _, s := range r.Samples {
+		w := s.Width()
+		sumW += float64(w)
+		sumS += float64(s.Std)
+		if w > out.MaxWidth {
+			out.MaxWidth = w
+		}
+	}
+	out.MeanWidth = sumW / float64(len(r.Samples))
+	out.MeanStdDev = sumS / float64(len(r.Samples))
+	return out
+}
+
+// htmlTemplate renders the same report as a single self-contained page:
+// the cascade trees as preformatted text, the roughness timeline as an
+// inline SVG polyline, and the per-LP table.
+var htmlTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>gowarp run report</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; }
+th, td { border: 1px solid #bbb; padding: 3px 8px; text-align: right; font-variant-numeric: tabular-nums; }
+th { background: #eee; }
+pre { background: #f6f6f6; padding: 8px; overflow-x: auto; }
+svg { border: 1px solid #ccc; background: #fff; }
+</style></head><body>
+<h1>gowarp run report</h1>
+{{if .Header}}<p>{{.Header}}</p>{{end}}
+<h2>Rollback cascades</h2>
+<p>{{.CascadeSummary}}</p>
+{{range .Trees}}<h3>{{.Title}}</h3><pre>{{.Body}}</pre>{{end}}
+<h2>Virtual-time roughness</h2>
+{{if .Polyline}}
+<p>LVT width over wall time (max {{.MaxWidth}}):</p>
+<svg width="640" height="160" viewBox="0 0 640 160" preserveAspectRatio="none">
+<polyline fill="none" stroke="#c33" stroke-width="1.5" points="{{.Polyline}}"/>
+</svg>
+{{else}}<p>No roughness samples in trace.</p>{{end}}
+{{if .Roughness}}<p>{{.Roughness}}</p>{{end}}
+{{if .PerLP}}
+<h2>Per-LP efficiency</h2>
+<table><tr><th>LP</th><th>processed</th><th>committed</th><th>rolled back</th><th>efficiency</th><th>wasted</th><th>rollbacks</th><th>antis</th></tr>
+{{range .PerLP}}<tr><td>{{.LP}}</td><td>{{.Processed}}</td><td>{{.Committed}}</td><td>{{.RolledBack}}</td><td>{{.Eff}}</td><td>{{.Wasted}}</td><td>{{.Rollbacks}}</td><td>{{.Antis}}</td></tr>
+{{end}}</table>
+{{end}}
+</body></html>
+`))
+
+// WriteHTML renders the report as a single self-contained HTML page.
+func (r *Report) WriteHTML(w io.Writer, topK int) error {
+	if topK <= 0 {
+		topK = 5
+	}
+	type tree struct{ Title, Body string }
+	type lpRow struct {
+		LP, Processed, Committed, RolledBack, Rollbacks, Antis int64
+		Eff, Wasted                                            string
+	}
+	data := struct {
+		Header, CascadeSummary, Roughness, Polyline string
+		MaxWidth                                    int64
+		Trees                                       []tree
+		PerLP                                       []lpRow
+	}{}
+
+	var part []int
+	if s := r.Summary; s != nil {
+		part = s.FinalPartition
+		data.Header = fmt.Sprintf("model %s: %.3fs wall, %.0f events/s, efficiency %.3f, wasted-work ratio %.3f",
+			s.Model, s.ElapsedSeconds, s.EventsPerSec, s.Efficiency, s.WastedWorkRatio)
+		for i := range s.PerLP {
+			c := &s.PerLP[i]
+			data.PerLP = append(data.PerLP, lpRow{
+				LP: int64(i), Processed: c.EventsProcessed, Committed: c.EventsCommitted,
+				RolledBack: c.EventsRolledBack, Rollbacks: c.Rollbacks, Antis: c.AntiMsgsSent,
+				Eff: fmt.Sprintf("%.3f", c.Efficiency()), Wasted: fmt.Sprintf("%.3f", c.WastedWorkRatio()),
+			})
+		}
+	}
+	data.CascadeSummary = fmt.Sprintf("%d rollback episodes in %d cascades (%d secondary episodes attributed to a parent)",
+		len(r.Rollbacks), len(r.Cascades), r.secondaryCount())
+	for i, c := range r.Cascades {
+		if i >= topK {
+			break
+		}
+		root := &r.Rollbacks[c.Root]
+		var b strings.Builder
+		writeTree(&b, r.Rollbacks, c.Root, part)
+		data.Trees = append(data.Trees, tree{
+			Title: fmt.Sprintf("#%d root LP%d obj %d, cause %s — %d events undone, %d restores, %d antis, depth %d",
+				i+1, root.LP, root.Object, objLabel(root.Src, part), c.Rolled, c.Members, c.Antis, c.Depth),
+			Body: b.String(),
+		})
+	}
+	if len(r.Samples) > 0 {
+		var maxW int64 = 1
+		for _, s := range r.Samples {
+			if s.Width() > maxW {
+				maxW = s.Width()
+			}
+		}
+		data.MaxWidth = maxW
+		t0 := r.Samples[0].Wall
+		span := r.Samples[len(r.Samples)-1].Wall - t0
+		if span <= 0 {
+			span = 1
+		}
+		var pts []string
+		for _, s := range r.Samples {
+			x := float64(s.Wall-t0) / float64(span) * 640
+			y := 155 - float64(s.Width())/float64(maxW)*150
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		data.Polyline = strings.Join(pts, " ")
+		if rs := r.roughnessSummary(); rs != nil {
+			data.Roughness = fmt.Sprintf("%d samples: mean width %.1f, max width %d, mean stddev %.1f",
+				rs.Samples, rs.MeanWidth, rs.MaxWidth, rs.MeanStdDev)
+		}
+	}
+	return htmlTemplate.Execute(w, data)
+}

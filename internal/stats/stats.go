@@ -187,6 +187,16 @@ func (c *Counters) Efficiency() float64 {
 	return float64(c.EventsCommitted) / float64(c.EventsProcessed)
 }
 
+// WastedWorkRatio returns rolled-back / committed events — how much
+// optimistic work was thrown away per unit of useful progress — or 0 when
+// nothing committed.
+func (c *Counters) WastedWorkRatio() float64 {
+	if c.EventsCommitted == 0 {
+		return 0
+	}
+	return float64(c.EventsRolledBack) / float64(c.EventsCommitted)
+}
+
 // MeanRollbackLength returns the average number of events undone per
 // rollback, or 0 when no rollbacks occurred.
 func (c *Counters) MeanRollbackLength() float64 {

@@ -28,12 +28,18 @@ type RunSummary struct {
 	HitRatio float64 `json:"hit_ratio"`
 	// MeanRollbackLength is events undone per rollback episode.
 	MeanRollbackLength float64 `json:"mean_rollback_length"`
+	// WastedWorkRatio is rolled-back / committed events: how much optimistic
+	// work the run threw away per unit of useful progress.
+	WastedWorkRatio float64 `json:"wasted_work_ratio"`
 	// FinalStateHash is a structural hash of every object's committed final
 	// state (audit.HashStates); equal hashes mean semantically identical
 	// outcomes. Zero when the producer did not compute it.
 	FinalStateHash uint64 `json:"final_state_hash,omitempty"`
 	// Stats is the full merged counter tally.
 	Stats stats.Counters `json:"stats"`
+	// PerLP holds each logical process's own tally, for per-LP efficiency
+	// breakdowns (twreport's efficiency table).
+	PerLP []stats.Counters `json:"per_lp,omitempty"`
 	// PerObject carries per-object controller end states.
 	PerObject []stats.PerObject `json:"per_object,omitempty"`
 	// TraceDropped is the number of trace events lost to ring wraparound
@@ -45,6 +51,28 @@ type RunSummary struct {
 	// wall-clock-dependent when balancing is on, hence excluded from
 	// Deterministic.
 	FinalPartition []int `json:"final_partition,omitempty"`
+	// Roughness summarizes the virtual-time roughness samples (nil when the
+	// observation sampler was off).
+	Roughness *RoughnessSummary `json:"roughness,omitempty"`
+	// RollbackDepthHist is the rollback-depth histogram: bucket i counts
+	// rollback episodes that undid at most observe.DepthBounds[i] events,
+	// with the final slot as the overflow bucket.
+	RollbackDepthHist []int64 `json:"rollback_depth_hist,omitempty"`
+}
+
+// RoughnessSummary condenses a run's virtual-time roughness samples: how
+// spread out the LPs' local virtual times were, on average and at worst.
+// Width is max-min over finite LVTs at a sample instant; StdDev their
+// standard deviation. Defined here (rather than in internal/observe, which
+// produces it) so RunSummary can embed it without an import cycle.
+type RoughnessSummary struct {
+	// Samples is the number of roughness samples taken.
+	Samples int64 `json:"samples"`
+	// MeanWidth and MaxWidth aggregate the LVT spread across samples.
+	MeanWidth float64 `json:"mean_width"`
+	MaxWidth  int64   `json:"max_width"`
+	// MeanStdDev is the mean per-sample standard deviation of the LVTs.
+	MeanStdDev float64 `json:"mean_stddev"`
 }
 
 // Deterministic returns a copy of the summary stripped to the fields that
@@ -91,6 +119,9 @@ type BenchRow struct {
 	// that predate them).
 	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
 	BytesPerEvent  float64 `json:"bytes_per_event,omitempty"`
+	// WastedWorkRatio is rolled-back / committed events for the measured
+	// run (omitted by producers that predate it).
+	WastedWorkRatio float64 `json:"wasted_work_ratio,omitempty"`
 }
 
 // WriteJSON marshals v with indentation and writes it to path.

@@ -29,8 +29,8 @@ func jsonlArgs(ev Event) string {
 		if ev.A == CauseAnti {
 			cause = "anti"
 		}
-		return fmt.Sprintf(`"object":%d,"vt":%d,"cause":%q,"rolled":%d,"coasted":%d,"coast_us":%s`,
-			ev.Object, ev.VT, cause, ev.B, ev.C, us(int64(ev.Dur)))
+		return fmt.Sprintf(`"object":%d,"vt":%d,"cause":%q,"src":%d,"send_vt":%d,"rolled":%d,"coasted":%d,"antis":%d,"coast_us":%s`,
+			ev.Object, ev.VT, cause, ev.D, ev.E, ev.B, ev.C, ev.F, us(int64(ev.Dur)))
 	case KindCheckpointAdjust:
 		return fmt.Sprintf(`"object":%d,"old_chi":%d,"new_chi":%d,"ec_us":%s`,
 			ev.Object, ev.A, ev.B, us(int64(ev.Dur)))
@@ -64,6 +64,9 @@ func jsonlArgs(ev Event) string {
 		}
 		return fmt.Sprintf(`"object":%d,"to":%q,"ratio":%.3f`,
 			ev.Object, to, float64(ev.B)/1000)
+	case KindRoughness:
+		return fmt.Sprintf(`"gvt":%d,"min_lvt":%d,"max_lvt":%d,"mean_lvt":%d,"stddev_lvt":%d,"lag_lp":%d,"wasted":%.3f`,
+			ev.VT, ev.A, ev.B, ev.C, ev.D, ev.Object, float64(ev.E)/1000)
 	default:
 		return fmt.Sprintf(`"a":%d,"b":%d,"c":%d`, ev.A, ev.B, ev.C)
 	}
@@ -138,6 +141,14 @@ func WriteChrome(w io.Writer, evs []Event) error {
 			// the scale.
 			if ev.VT != math.MaxInt64 && ev.VT != math.MinInt64 {
 				emit(`{"name":"GVT","ph":"C","ts":%s,"pid":0,"args":{"gvt":%d}}`, ts, ev.VT)
+			}
+		case KindRoughness:
+			emit(`{"name":"roughness","cat":"roughness","ph":"i","s":"g","ts":%s,"pid":0,"tid":%d,"args":{%s}}`,
+				ts, ev.LP, jsonlArgs(ev))
+			// A counter track plots the LVT spread; min/max are finite
+			// whenever the sampler saw at least one published LVT.
+			if ev.A != math.MaxInt64 && ev.A != math.MinInt64 && ev.B != math.MaxInt64 && ev.B != math.MinInt64 {
+				emit(`{"name":"LVT width","ph":"C","ts":%s,"pid":0,"args":{"width":%d}}`, ts, ev.B-ev.A)
 			}
 		default:
 			emit(`{"name":%q,"cat":%q,"ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{%s}}`,

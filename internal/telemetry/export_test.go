@@ -12,12 +12,13 @@ import (
 // kernel would have recorded them.
 func goldenEvents() []Event {
 	return []Event{
-		{Kind: KindRollback, Wall: 1500, LP: 0, Object: 3, VT: 42, A: CauseStraggler, B: 5, C: 2, Dur: 2500},
+		{Kind: KindRollback, Wall: 1500, LP: 0, Object: 3, VT: 42, A: CauseStraggler, B: 5, C: 2, D: 5, E: 37, F: 1, Dur: 2500},
 		{Kind: KindCheckpointAdjust, Wall: 2000, LP: 1, Object: 7, A: 4, B: 8, Dur: 125000},
 		{Kind: KindStrategySwitch, Wall: 3000, LP: 1, Object: 7, A: 1, B: 375},
 		{Kind: KindGVT, Wall: 4000, LP: 0, Object: -1, VT: 100, A: 2, Dur: 50000},
 		{Kind: KindFlush, Wall: 5000, LP: 2, Object: 1, A: 1, B: 12, C: 288},
 		{Kind: KindWindowAdjust, Wall: 6000, LP: 2, Object: 1, A: 100000, B: 50000},
+		{Kind: KindRoughness, Wall: 7000, LP: -1, Object: 2, VT: 90, A: 80, B: 120, C: 100, D: 14, E: 250},
 	}
 }
 
@@ -26,12 +27,13 @@ func TestWriteJSONLGolden(t *testing.T) {
 	if err := WriteJSONL(&b, goldenEvents()); err != nil {
 		t.Fatal(err)
 	}
-	want := `{"wall_us":1.500,"kind":"rollback","lp":0,"object":3,"vt":42,"cause":"straggler","rolled":5,"coasted":2,"coast_us":2.500}
+	want := `{"wall_us":1.500,"kind":"rollback","lp":0,"object":3,"vt":42,"cause":"straggler","src":5,"send_vt":37,"rolled":5,"coasted":2,"antis":1,"coast_us":2.500}
 {"wall_us":2.000,"kind":"checkpoint_adjust","lp":1,"object":7,"old_chi":4,"new_chi":8,"ec_us":125.000}
 {"wall_us":3.000,"kind":"strategy_switch","lp":1,"object":7,"to":"lazy","hit_ratio":0.375}
 {"wall_us":4.000,"kind":"gvt","lp":0,"vt":100,"rounds":2,"cycle_us":50.000}
 {"wall_us":5.000,"kind":"flush","lp":2,"dst":1,"cause":"capacity","events":12,"bytes":288}
 {"wall_us":6.000,"kind":"window_adjust","lp":2,"dst":1,"old_us":100.000,"new_us":50.000}
+{"wall_us":7.000,"kind":"roughness","lp":-1,"gvt":90,"min_lvt":80,"max_lvt":120,"mean_lvt":100,"stddev_lvt":14,"lag_lp":2,"wasted":0.250}
 `
 	if got := b.String(); got != want {
 		t.Errorf("JSONL output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
@@ -46,7 +48,7 @@ func TestWriteJSONLGolden(t *testing.T) {
 
 func TestWriteChromeGolden(t *testing.T) {
 	evs := []Event{
-		{Kind: KindRollback, Wall: 1500, LP: 0, Object: 3, VT: 42, A: CauseStraggler, B: 5, C: 2, Dur: 2500},
+		{Kind: KindRollback, Wall: 1500, LP: 0, Object: 3, VT: 42, A: CauseStraggler, B: 5, C: 2, D: 5, E: 37, F: 1, Dur: 2500},
 		{Kind: KindGVT, Wall: 4000, LP: 0, Object: -1, VT: 100, A: 2, Dur: 50000},
 	}
 	var b strings.Builder
@@ -56,7 +58,7 @@ func TestWriteChromeGolden(t *testing.T) {
 	want := `{"displayTimeUnit":"ms","traceEvents":[
 {"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"gowarp"}},
 {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"LP 0"}},
-{"name":"rollback","cat":"rollback","ph":"X","ts":1.500,"dur":2.500,"pid":0,"tid":0,"args":{"object":3,"vt":42,"cause":"straggler","rolled":5,"coasted":2,"coast_us":2.500}},
+{"name":"rollback","cat":"rollback","ph":"X","ts":1.500,"dur":2.500,"pid":0,"tid":0,"args":{"object":3,"vt":42,"cause":"straggler","src":5,"send_vt":37,"rolled":5,"coasted":2,"antis":1,"coast_us":2.500}},
 {"name":"gvt cycle","cat":"gvt","ph":"i","s":"g","ts":4.000,"pid":0,"tid":0,"args":{"vt":100,"rounds":2,"cycle_us":50.000}},
 {"name":"GVT","ph":"C","ts":4.000,"pid":0,"args":{"gvt":100}}
 ]}
@@ -88,18 +90,19 @@ func TestWriteChromeParses(t *testing.T) {
 	if doc.DisplayTimeUnit != "ms" {
 		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
 	}
-	// 1 process_name + 3 thread_name (LPs 0,1,2) + 6 events + 1 GVT counter.
-	if len(doc.TraceEvents) != 11 {
-		t.Errorf("traceEvents count = %d, want 11", len(doc.TraceEvents))
+	// 1 process_name + 4 thread_name (LPs 0,1,2 and the -1 system ring) +
+	// 7 events + 1 GVT counter + 1 LVT-width counter.
+	if len(doc.TraceEvents) != 14 {
+		t.Errorf("traceEvents count = %d, want 14", len(doc.TraceEvents))
 	}
 	byName := map[string]int{}
 	for _, te := range doc.TraceEvents {
 		byName[te.Name]++
 	}
 	for name, want := range map[string]int{
-		"process_name": 1, "thread_name": 3, "rollback": 1, "gvt cycle": 1,
+		"process_name": 1, "thread_name": 4, "rollback": 1, "gvt cycle": 1,
 		"GVT": 1, "checkpoint_adjust": 1, "strategy_switch": 1, "flush": 1,
-		"window_adjust": 1,
+		"window_adjust": 1, "roughness": 1, "LVT width": 1,
 	} {
 		if byName[name] != want {
 			t.Errorf("event %q count = %d, want %d", name, byName[name], want)
@@ -131,7 +134,7 @@ func TestTracerExportEndToEnd(t *testing.T) {
 	tr := NewTracer(16)
 	tr.Bind(2, time.Now())
 	tr.LP(0).GVTCycle(10, 1, time.Microsecond)
-	tr.LP(1).Rollback(5, 20, true, 3, 1, time.Microsecond)
+	tr.LP(1).Rollback(5, 2, 18, 20, true, 3, 1, 2, time.Microsecond)
 	var jl, ch strings.Builder
 	if err := tr.WriteJSONL(&jl); err != nil {
 		t.Fatal(err)

@@ -22,13 +22,14 @@ type Registry struct {
 	numLPs  int
 	order   []string
 	metrics map[string]*Metric
+	hists   map[string]*HistMetric
 }
 
 // NewRegistry returns an empty registry. Hand it to the kernel via the run
 // configuration; the kernel binds it and creates its metric set at run
 // start, so a scrape before (or between) runs just renders nothing.
 func NewRegistry() *Registry {
-	return &Registry{metrics: map[string]*Metric{}}
+	return &Registry{metrics: map[string]*Metric{}, hists: map[string]*HistMetric{}}
 }
 
 // Bind sizes per-LP metrics for numLPs logical processes, discarding any
@@ -42,6 +43,7 @@ func (r *Registry) Bind(numLPs int) {
 	r.numLPs = numLPs
 	r.order = nil
 	r.metrics = map[string]*Metric{}
+	r.hists = map[string]*HistMetric{}
 }
 
 // Metric is one named gauge or counter. Values are float64 bits in atomic
@@ -80,6 +82,102 @@ func (r *Registry) Gauge(name, help string, perLP bool) *Metric {
 // Counter registers (or fetches) a cumulative counter.
 func (r *Registry) Counter(name, help string, perLP bool) *Metric {
 	return r.metric(name, help, "counter", perLP)
+}
+
+// HistMetric is one named histogram: fixed ascending upper bounds with an
+// implicit +Inf overflow bucket, per-bucket atomic counts and an atomic sum.
+// Like Metric, writers touch only atomic slots and readers never block them.
+type HistMetric struct {
+	name, help string
+	bounds     []float64
+	counts     []atomic.Uint64 // len(bounds)+1; the last slot is +Inf
+	sum        atomic.Uint64   // float64 bits
+}
+
+// Histogram registers (or fetches) a histogram with the given bucket upper
+// bounds (ascending; the +Inf bucket is implicit). Nil-safe.
+func (r *Registry) Histogram(name, help string, bounds []float64) *HistMetric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &HistMetric{name: name, help: help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.hists[name] = h
+	r.order = append(r.order, name)
+	return h
+}
+
+// Observe adds one observation of v. Nil-safe.
+func (h *HistMetric) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// SetAll replaces the per-bucket counts (non-cumulative, +Inf last) and the
+// sum wholesale — the mirror path for recorders that keep their own atomic
+// tallies and publish periodically. Extra or missing buckets are ignored.
+// Nil-safe.
+func (h *HistMetric) SetAll(counts []uint64, sum float64) {
+	if h == nil {
+		return
+	}
+	for i := range h.counts {
+		if i < len(counts) {
+			h.counts[i].Store(counts[i])
+		}
+	}
+	h.sum.Store(math.Float64bits(sum))
+}
+
+// Counts returns the per-bucket counts (non-cumulative, +Inf last), the sum
+// and the total count.
+func (h *HistMetric) Counts() (counts []uint64, sum float64, total uint64) {
+	if h == nil {
+		return nil, 0, 0
+	}
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return counts, math.Float64frombits(h.sum.Load()), total
+}
+
+func (h *HistMetric) writePrometheus(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name); err != nil {
+		return err
+	}
+	counts, sum, total := h.Counts()
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, fmtVal(b), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		h.name, total, h.name, fmtVal(sum), h.name, total); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Set stores v into lp's slot. Global metrics ignore lp. Nil-safe.
@@ -127,11 +225,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	names := append([]string(nil), r.order...)
 	metrics := make([]*Metric, len(names))
+	hists := make([]*HistMetric, len(names))
 	for i, n := range names {
 		metrics[i] = r.metrics[n]
+		hists[i] = r.hists[n]
 	}
 	r.mu.RUnlock()
-	for _, m := range metrics {
+	for i, m := range metrics {
+		if m == nil {
+			if err := hists[i].writePrometheus(w); err != nil {
+				return err
+			}
+			continue
+		}
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ); err != nil {
 			return err
 		}
@@ -161,6 +267,11 @@ func (r *Registry) Snapshot() map[string]any {
 	defer r.mu.RUnlock()
 	for _, name := range r.order {
 		m := r.metrics[name]
+		if m == nil {
+			counts, sum, total := r.hists[name].Counts()
+			out[name] = map[string]any{"counts": counts, "sum": sum, "count": total}
+			continue
+		}
 		if !m.perLP {
 			out[name] = m.Get(0)
 			continue

@@ -41,6 +41,10 @@ const (
 	// KindCodecSwitch is a state-codec encoding change (full↔delta) on one
 	// object, decided by the codec facet's on-line controller.
 	KindCodecSwitch
+	// KindRoughness is one virtual-time roughness sample: the spread of the
+	// LVT vector across LPs at a wall-clock instant (recorded by the
+	// observation sampler into the tracer's system ring).
+	KindRoughness
 )
 
 // String names the kind as it appears in exported traces.
@@ -64,6 +68,8 @@ func (k Kind) String() string {
 		return "balance"
 	case KindCodecSwitch:
 		return "codec_switch"
+	case KindRoughness:
+		return "roughness"
 	default:
 		return "unknown"
 	}
@@ -82,8 +88,8 @@ type Event struct {
 	// VT is the virtual time the event is about (straggler receive time,
 	// GVT value); 0 when not meaningful.
 	VT int64
-	// A, B, C are kind-specific arguments.
-	A, B, C int64
+	// A, B, C, D, E, F are kind-specific arguments.
+	A, B, C, D, E, F int64
 	// LP is the recording logical process.
 	LP int32
 	// Object is the simulation object (or destination LP for comm events);
@@ -112,6 +118,11 @@ type Tracer struct {
 	capacity int
 	start    time.Time
 	lps      []*LPTrace
+	// sys is the system ring (LP -1): a recorder for run-scoped events that
+	// no LP goroutine owns, such as roughness samples. It has exactly one
+	// writer at a time (the observation sampler goroutine), preserving the
+	// single-writer-per-ring discipline.
+	sys *LPTrace
 }
 
 // NewTracer returns a tracer whose per-LP rings hold capacity events each
@@ -140,6 +151,16 @@ func (t *Tracer) Bind(numLPs int, start time.Time) {
 			buf:   make([]Event, t.capacity),
 		}
 	}
+	t.sys = &LPTrace{lp: -1, start: start, buf: make([]Event, t.capacity)}
+}
+
+// System returns the system ring (LP -1), used by run-scoped recorders like
+// the roughness sampler, or nil when the tracer is nil or unbound.
+func (t *Tracer) System() *LPTrace {
+	if t == nil {
+		return nil
+	}
+	return t.sys
 }
 
 // LP returns the recorder owned by logical process i, or nil when the
@@ -161,6 +182,7 @@ func (t *Tracer) Events() []Event {
 	for _, lp := range t.lps {
 		all = append(all, lp.events()...)
 	}
+	all = append(all, t.sys.events()...)
 	sort.SliceStable(all, func(i, j int) bool { return all[i].Wall < all[j].Wall })
 	return all
 }
@@ -175,6 +197,9 @@ func (t *Tracer) Dropped() int64 {
 		if lp.n > uint64(len(lp.buf)) {
 			n += int64(lp.n) - int64(len(lp.buf))
 		}
+	}
+	if s := t.sys; s != nil && s.n > uint64(len(s.buf)) {
+		n += int64(s.n) - int64(len(s.buf))
 	}
 	return n
 }
@@ -223,10 +248,14 @@ func (t *LPTrace) Len() int {
 	return int(t.n)
 }
 
-// Rollback records one rollback episode on object obj: the straggler's
-// receive time and cause, the number of events undone, and the
-// coast-forward re-execution count and wall cost.
-func (t *LPTrace) Rollback(obj int32, stragglerVT int64, anti bool, rolled, coasted int64, coastDur time.Duration) {
+// Rollback records one attributed rollback episode on object obj. The
+// causing message (straggler or anti-message) is identified by its source
+// object src and its send/receive virtual times, which is what the cascade
+// linker in internal/observe needs to attach secondary rollbacks to the
+// rollback that emitted their anti-message. antis is the number of
+// anti-messages this episode emitted; rolled, coasted and coastDur are the
+// events undone and the coast-forward re-execution count and wall cost.
+func (t *LPTrace) Rollback(obj, src int32, sendVT, recvVT int64, anti bool, rolled, coasted, antis int64, coastDur time.Duration) {
 	if t == nil {
 		return
 	}
@@ -234,7 +263,21 @@ func (t *LPTrace) Rollback(obj int32, stragglerVT int64, anti bool, rolled, coas
 	if anti {
 		cause = CauseAnti
 	}
-	t.record(Event{Kind: KindRollback, Object: obj, VT: stragglerVT, A: cause, B: rolled, C: coasted, Dur: coastDur})
+	t.record(Event{Kind: KindRollback, Object: obj, VT: recvVT, A: cause, B: rolled, C: coasted,
+		D: int64(src), E: sendVT, F: antis, Dur: coastDur})
+}
+
+// Roughness records one virtual-time roughness sample: the current GVT
+// estimate, the min/max/mean/stddev of the finite LVTs across LPs, the
+// laggard LP holding the minimum, and the run-wide wasted-work ratio
+// (rolled-back / committed events) in thousandths. Recorded into the
+// tracer's system ring by the observation sampler.
+func (t *LPTrace) Roughness(gvt, minLVT, maxLVT, meanLVT, stddevLVT int64, laggard int32, wastedPermille int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: KindRoughness, Object: laggard, VT: gvt,
+		A: minLVT, B: maxLVT, C: meanLVT, D: stddevLVT, E: wastedPermille})
 }
 
 // CheckpointAdjust records a checkpoint-interval change on object obj, with
