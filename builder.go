@@ -6,7 +6,7 @@ import (
 
 // ConfigBuilder assembles a Config facet by facet. Every facet follows the
 // same shape — a Mode selecting the policy, the policy's static parameters,
-// and (for adaptive modes) a controller block — so the builder reads as five
+// and (for adaptive modes) a controller block — so the builder reads as six
 // parallel WithX calls plus kernel-level knobs:
 //
 //	cfg := gowarp.NewConfig(100_000).
@@ -15,10 +15,12 @@ import (
 //		WithAggregation(gowarp.SAAW, 50*time.Microsecond).
 //		WithBalance(gowarp.BalanceDynamic).
 //		WithCodec(gowarp.CodecDynamic, gowarp.LZCompression).
+//		WithOptimism(gowarp.OptimismAdaptive, 2000).
 //		Build()
 //
 // Unset facets keep the DefaultConfig baseline (periodic check-pointing,
-// aggressive cancellation, no aggregation, static placement, codec off).
+// aggressive cancellation, no aggregation, static placement, codec off,
+// static unbounded optimism).
 // For parameters beyond the common ones, the WithXConfig variants accept the
 // facet's full config struct.
 type ConfigBuilder struct {
@@ -109,6 +111,20 @@ func (b *ConfigBuilder) WithGVTPeriod(d time.Duration) *ConfigBuilder {
 // WithOptimismWindow bounds optimism to w past GVT (0 = unbounded).
 func (b *ConfigBuilder) WithOptimismWindow(w VTime) *ConfigBuilder {
 	b.cfg.OptimismWindow = w
+	return b
+}
+
+// WithOptimism selects the optimism mode; window is the fixed
+// (OptimismStatic) or initial (OptimismAdaptive) window past GVT, 0 keeps
+// the kernel-level OptimismWindow (unbounded by default).
+func (b *ConfigBuilder) WithOptimism(mode OptimismMode, window VTime) *ConfigBuilder {
+	b.cfg.Optimism = OptimismConfig{Mode: mode, Window: window}
+	return b
+}
+
+// WithOptimismConfig sets the full optimism facet config.
+func (b *ConfigBuilder) WithOptimismConfig(c OptimismConfig) *ConfigBuilder {
+	b.cfg.Optimism = c
 	return b
 }
 

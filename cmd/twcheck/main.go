@@ -9,7 +9,10 @@
 // smmp-codec-mig) that re-run it with delta checkpointing and LZ capsule
 // compression on, plus an observability leg (smmp-obs) that re-runs it with
 // rollback tracing and the roughness sampler attached — observation must
-// never perturb simulation semantics. Any divergence in committed events or
+// never perturb simulation semantics — plus adaptive-optimism legs
+// (smmp-opt, phold-opt-mig) that re-run it with the on-line optimism-window
+// controller steering the bounded time window mid-run, alone and composed
+// with migration and the codec. Any divergence in committed events or
 // final states, or any runtime invariant violation, fails the sweep with a
 // nonzero exit.
 //
@@ -58,6 +61,10 @@ type check struct {
 	// rollback attribution, roughness sampler) — observation must never
 	// change simulation semantics.
 	observe bool
+	// optimism, when Adaptive, runs every cell with the on-line
+	// optimism-window controller steering the bounded time window — the
+	// adaptive-optimism legs of the sweep.
+	optimism core.OptimismConfig
 }
 
 // skew rewrites part so LP 0 hosts almost everything (each other LP keeps
@@ -87,6 +94,22 @@ var aggressiveBalance = core.BalanceConfig{
 	LowWater:  1.05,
 	MaxMoves:  2,
 	MinSample: 32,
+}
+
+// adaptiveOptimism is the controller tuning for the optimism legs: fire at
+// every GVT application with a low sample floor so short oracle runs move
+// the window in both directions, and clamps tight enough that a tightened
+// window actually throttles these small models.
+var adaptiveOptimism = core.OptimismConfig{
+	Mode:      core.OptimismAdaptive,
+	Window:    500,
+	Min:       50,
+	Max:       4000,
+	Period:    1,
+	HighWater: 0.3,
+	LowWater:  0.1,
+	Factor:    2,
+	MinSample: 16,
 }
 
 var checks = []check{
@@ -153,6 +176,27 @@ var checks = []check{
 		end: 1 << 40, window: 2000, observe: true,
 	},
 	{
+		name: "smmp-opt",
+		build: func(seed uint64) *model.Model {
+			return smmp.New(smmp.Config{Requests: 60, Seed: seed})
+		},
+		end: 1 << 40, optimism: adaptiveOptimism,
+	},
+	{
+		name: "phold-opt-mig",
+		build: func(seed uint64) *model.Model {
+			m := phold.New(phold.Config{
+				Objects: 16, TokensPerObject: 3, MeanDelay: 10,
+				Locality: 0.2, LPs: 4, Seed: seed, StatePadding: 256,
+			})
+			skew(m.Partition, 4)
+			return m
+		},
+		end: 2400, balance: aggressiveBalance,
+		codec:    codec.Config{Mode: codec.Dynamic, Compression: codec.LZ},
+		optimism: adaptiveOptimism,
+	},
+	{
 		name: "phold-codec",
 		build: func(seed uint64) *model.Model {
 			return phold.New(phold.Config{
@@ -186,7 +230,7 @@ var checks = []check{
 func main() {
 	var (
 		full      = flag.Bool("full", false, "run the full 81-cell matrix (default: the 9-cell diagonal covering every policy value)")
-		modelName = flag.String("model", "", "restrict the sweep to one model: phold, qnet, smmp, raid, phold-mig, smmp-mig, smmp-obs, phold-codec, smmp-codec, smmp-codec-mig")
+		modelName = flag.String("model", "", "restrict the sweep to one model: phold, qnet, smmp, raid, phold-mig, smmp-mig, smmp-obs, smmp-opt, phold-opt-mig, phold-codec, smmp-codec, smmp-codec-mig")
 		seed      = flag.Uint64("seed", 1, "model random seed")
 		gvtPeriod = flag.Duration("gvt-period", 200*time.Microsecond, "GVT period for the parallel legs")
 		verbose   = flag.Bool("v", false, "print the full per-cell table for every model")
@@ -214,6 +258,7 @@ func main() {
 			Balance:        c.balance,
 			Codec:          c.codec,
 			Observe:        c.observe,
+			Optimism:       c.optimism,
 			Cells:          cells,
 		})
 		if err != nil {

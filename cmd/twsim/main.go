@@ -10,6 +10,7 @@
 //	twsim -model phold -metrics-addr 127.0.0.1:9090 -json-out run.json
 //	twsim -model phold -partition greedy -balance=dynamic,period=4 -audit -verify
 //	twsim -model smmp -state-padding 1024 -codec delta,lz
+//	twsim -model smmp -optimism=adaptive,window=2000 -json-out run.json
 //	twsim -model smmp -trace storm.jsonl -json-out run.json   # then: twreport -trace storm.jsonl -summary run.json
 package main
 
@@ -80,7 +81,18 @@ func main() {
 	)
 	balanceSpec := &specValue{spec: "off"}
 	flag.Var(balanceSpec, "balance", "load-balance facet spec: off, dynamic, or dynamic,period=N,high=F,low=F,moves=N,min-sample=N (bare -balance = dynamic)")
+	optSpec := &specValue{spec: "off"}
+	flag.Var(optSpec, "optimism", "optimism facet spec: off, static,window=N, or adaptive[,window=N,min=N,max=N,period=N,high=F,low=F,factor=F,min-sample=N,rough=F] (bare -optimism = adaptive)")
 	flag.Parse()
+
+	// Spec flags (-balance, -optimism) double as booleans, so the Go flag
+	// package does not consume a space-separated value for them: in
+	// "-optimism adaptive -verify" the "adaptive" becomes a positional
+	// argument and every later flag is silently ignored. Refuse leftovers
+	// instead of quietly running a different configuration.
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q (spec flags need the -flag=value form, e.g. -optimism=adaptive)", flag.Arg(0)))
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -238,6 +250,12 @@ func main() {
 		fatal(err)
 	}
 
+	// -optimism-window stays as the kernel-level static knob; the -optimism
+	// facet spec layers modes (and the adaptive controller) on top of it.
+	if cfg.Optimism, err = gowarp.ParseOptSpec(optSpec.spec); err != nil {
+		fatal(err)
+	}
+
 	switch *pending {
 	case "heap":
 		cfg.PendingSet = gowarp.HeapPendingSet
@@ -300,21 +318,23 @@ func main() {
 		flag.VisitAll(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
 		stats.SortPerObject(res.PerObject)
 		sum := gowarp.RunSummary{
-			Model:              m.Name,
-			Flags:              flags,
-			ElapsedSeconds:     res.Elapsed.Seconds(),
-			FinalGVT:           res.GVT.String(),
-			EventsPerSec:       res.EventRate(),
-			Efficiency:         res.Stats.Efficiency(),
-			HitRatio:           res.Stats.HitRatio(),
-			MeanRollbackLength: res.Stats.MeanRollbackLength(),
-			WastedWorkRatio:    res.Stats.WastedWorkRatio(),
-			FinalStateHash:     gowarp.HashStates(res.FinalStates),
-			Stats:              res.Stats,
-			PerLP:              res.PerLP,
-			PerObject:          res.PerObject,
-			TraceDropped:       tracer.Dropped(),
-			FinalPartition:     res.FinalPartition,
+			Model:               m.Name,
+			Flags:               flags,
+			ElapsedSeconds:      res.Elapsed.Seconds(),
+			FinalGVT:            res.GVT.String(),
+			EventsPerSec:        res.EventRate(),
+			Efficiency:          res.Stats.Efficiency(),
+			HitRatio:            res.Stats.HitRatio(),
+			MeanRollbackLength:  res.Stats.MeanRollbackLength(),
+			WastedWorkRatio:     res.Stats.WastedWorkRatio(),
+			FinalStateHash:      gowarp.HashStates(res.FinalStates),
+			Stats:               res.Stats,
+			PerLP:               res.PerLP,
+			PerObject:           res.PerObject,
+			TraceDropped:        tracer.Dropped(),
+			FinalPartition:      res.FinalPartition,
+			FinalOptimismWindow: int64(res.FinalOptimismWindow),
+			OptimismSwitches:    res.Stats.OptimismAdjustments,
 		}
 		if sampler != nil {
 			sum.Roughness = sampler.Summary()

@@ -83,6 +83,33 @@ func TestSeedDeterminismAcrossPendingSets(t *testing.T) {
 	}
 }
 
+// TestSeedDeterminismAdaptiveOptimism pins that the adaptive optimism
+// controller — whose firing schedule rides the wall-clock-driven GVT cadence
+// — never leaks into the deterministic artifact: the same seed yields the
+// same final-state hash and committed count with the facet on, and the same
+// artifact as the static-window run, because the window throttles when LPs
+// may execute, never what they commit.
+func TestSeedDeterminismAdaptiveOptimism(t *testing.T) {
+	optCfg := func() gowarp.Config {
+		cfg := testCfg(1500)
+		cfg.Optimism = gowarp.OptimismConfig{
+			Mode: gowarp.OptimismAdaptive, Window: 200,
+			Min: 25, Max: 1600, Period: 1,
+			HighWater: 0.3, LowWater: 0.1, MinSample: 16,
+		}
+		return cfg
+	}
+	want := deterministicArtifact(t, 41, optCfg())
+	for i := 1; i < 3; i++ {
+		if got := deterministicArtifact(t, 41, optCfg()); string(got) != string(want) {
+			t.Fatalf("adaptive repeat %d diverged:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+	if static := deterministicArtifact(t, 41, testCfg(1500)); string(static) != string(want) {
+		t.Fatalf("adaptive optimism changed semantics:\n%s\nvs static\n%s", want, static)
+	}
+}
+
 // TestSeedsDistinguishRuns guards the test above against vacuity: different
 // seeds must produce different artifacts (distinct final-state hashes).
 func TestSeedsDistinguishRuns(t *testing.T) {

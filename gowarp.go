@@ -9,7 +9,7 @@
 // needed; all Time Warp machinery — state saving, rollback, cancellation,
 // GVT, fossil collection — is the kernel's business, invisible to models.
 //
-// Five facets of the kernel can be configured statically or placed under
+// Six facets of the kernel can be configured statically or placed under
 // on-line feedback control. Every facet has the same shape — a Mode, its
 // static parameters, and (where adaptive) a controller block with the
 // paper's <O,I,S,T,P> structure: an Observable sampled each Period, an
@@ -30,6 +30,10 @@
 //     checkpoint (with full anchors every FullEvery saves), or an on-line
 //     controller that switches each object full<->delta by the observed
 //     delta/full stored-bytes ratio; optionally LZ-compressed on the wire.
+//   - Optimism (Config.Optimism): a fixed bounded time window (or none), or
+//     an on-line controller that tightens the window when the observation
+//     sampler's wasted-work ratio climbs and relaxes it toward unbounded
+//     optimism when the virtual-time surface is smooth.
 //
 // A minimal model and run:
 //
@@ -141,6 +145,11 @@ type (
 	// CodecControllerConfig is the codec facet's on-line controller block
 	// (CodecConfig.Controller), active under CodecDynamic.
 	CodecControllerConfig = codec.ControllerConfig
+	// OptimismConfig configures the optimism facet: the bounded-time-window
+	// throttle as a sixth controlled item, with an on-line controller
+	// steering the window by observed rollback waste and LVT roughness
+	// (set Config.Optimism; static by default).
+	OptimismConfig = core.OptimismConfig
 )
 
 // DeltaState is the optional model-state interface that enables the codec
@@ -171,6 +180,16 @@ const (
 	CodecDynamic = codec.Dynamic
 )
 
+// Optimism modes (OptimismConfig.Mode).
+const (
+	// OptimismStatic keeps the configured window — or unbounded optimism
+	// when none is set — for the whole run (the default).
+	OptimismStatic = core.OptimismStatic
+	// OptimismAdaptive steers the window on line by the observation
+	// sampler's wasted-work and LVT-roughness signals.
+	OptimismAdaptive = core.OptimismAdaptive
+)
+
 // Codec compression choices (CodecConfig.Compression).
 const (
 	// NoCompression stores and ships encodings as-is.
@@ -194,6 +213,8 @@ type (
 	CodecMode = codec.Mode
 	// CodecCompression selects the codec's compression algorithm.
 	CodecCompression = codec.Compression
+	// OptimismMode selects the static window or the adaptive controller.
+	OptimismMode = core.OptimismMode
 )
 
 // Checkpointing modes.

@@ -3,6 +3,7 @@ package oracle
 import (
 	"gowarp/internal/apps/phold"
 	"gowarp/internal/apps/qnet"
+	"gowarp/internal/core"
 	"gowarp/internal/model"
 	"gowarp/internal/vtime"
 )
@@ -32,10 +33,13 @@ type FuzzSpec struct {
 	Cell int
 	// OptimismWindow bounds optimism (0 = unbounded).
 	OptimismWindow vtime.Time
+	// Optimism configures the optimism facet (zero value = static, the
+	// pre-facet behaviour).
+	Optimism core.OptimismConfig
 }
 
-// DecodeFuzzSpec maps 10 fuzzer-controlled bytes onto a FuzzSpec. Inputs
-// shorter than 10 bytes read as zero bytes, so every input decodes.
+// DecodeFuzzSpec maps 11 fuzzer-controlled bytes onto a FuzzSpec. Inputs
+// shorter than 11 bytes read as zero bytes, so every input decodes.
 func DecodeFuzzSpec(data []byte) FuzzSpec {
 	b := func(i int) byte {
 		if i < len(data) {
@@ -59,6 +63,22 @@ func DecodeFuzzSpec(data []byte) FuzzSpec {
 	}
 	if w := b(9); w != 0 {
 		spec.OptimismWindow = vtime.Time(50 + int64(w)%200)
+	}
+	// Byte 10 turns on the adaptive optimism controller (0 = static, the
+	// pre-facet behaviour) with an aggressive tuning — tiny period and
+	// sample floor so short fuzz runs actually move the window.
+	if a := b(10); a != 0 {
+		spec.Optimism = core.OptimismConfig{
+			Mode:      core.OptimismAdaptive,
+			Window:    vtime.Time(40 + int64(a)%200),
+			Min:       8,
+			Max:       1 << 12,
+			Period:    1 + int(a)%3,
+			HighWater: 0.3,
+			LowWater:  0.1,
+			Factor:    2,
+			MinSample: 8 + int64(a)%32,
+		}
 	}
 	return spec
 }
@@ -103,6 +123,7 @@ func (s FuzzSpec) Options() Options {
 		Name:           s.ModelName,
 		EndTime:        s.EndTime,
 		OptimismWindow: s.OptimismWindow,
+		Optimism:       s.Optimism,
 		Lookahead:      s.Lookahead(),
 		Cells:          Matrix()[s.Cell : s.Cell+1],
 	}

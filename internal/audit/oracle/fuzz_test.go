@@ -22,6 +22,8 @@ func FuzzKernelOracle(f *testing.F) {
 	f.Add([]byte("\x00\x06\x02\x02\x02\x06\x01\x03\x00\x00"))
 	// QNet, 10 stations / 3 LPs, cell 67 (dynchi/dyncan/faw/splay), windowed.
 	f.Add([]byte("\x01\x08\x02\x02\x03\x04\x07\x05\x43\x3c"))
+	// PHOLD again with the adaptive optimism controller on (byte 10).
+	f.Add([]byte("\x00\x06\x02\x02\x02\x06\x01\x03\x00\x32\x05"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec := DecodeFuzzSpec(data)
 		rep, err := Run(spec.Model(), spec.Options())

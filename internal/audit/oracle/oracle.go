@@ -126,6 +126,11 @@ type Options struct {
 	GVTPeriod time.Duration
 	// OptimismWindow bounds optimism in the parallel legs (0 = unbounded).
 	OptimismWindow vtime.Time
+	// Optimism configures the optimism facet in every parallel leg. The
+	// adaptive window controller throttles when LPs may execute, never what
+	// they commit, so every differential and invariant check applies
+	// unchanged with it on.
+	Optimism core.OptimismConfig
 	// Lookahead, when positive, adds one conservative-kernel leg using this
 	// as the CMB lookahead. It must not exceed the model's true minimum
 	// send delay.
@@ -311,6 +316,7 @@ func runCell(m *model.Model, cell Cell, opts Options, gvtPeriod time.Duration,
 		PendingSet:     cell.PendingSet,
 		GVTPeriod:      gvtPeriod,
 		OptimismWindow: opts.OptimismWindow,
+		Optimism:       opts.Optimism,
 		InboxDepth:     1 << 14,
 		Balance:        opts.Balance,
 		Codec:          opts.Codec,

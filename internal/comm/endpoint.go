@@ -385,6 +385,17 @@ func (e *Endpoint) BroadcastGVT(gvt vtime.Time) {
 	}
 }
 
+// BroadcastOptim tells every other LP the adaptive optimism window moved.
+// Pure wake-up control traffic: no events, no GVT accounting (see PktOptim).
+func (e *Endpoint) BroadcastOptim() {
+	for dst := range e.bufs {
+		if dst == e.lp {
+			continue
+		}
+		e.net.deliver(dst, Packet{Kind: PktOptim, From: e.lp}, controlBytes)
+	}
+}
+
 // BroadcastStop tells every other LP to terminate.
 func (e *Endpoint) BroadcastStop() {
 	for dst := range e.bufs {

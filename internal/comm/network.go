@@ -28,6 +28,12 @@ const (
 	// the Mattern GVT token treats an in-flight capsule as a transient
 	// message and can never overtake the events it carries.
 	PktMigrate
+	// PktOptim announces that the adaptive optimism controller moved the
+	// window. It carries no payload — the window itself lives in kernel
+	// shared state — the packet exists to wake LPs blocked at the old
+	// horizon, which would otherwise sleep a full idle tick before noticing
+	// a relaxed window.
+	PktOptim
 )
 
 // Token is the Mattern-style GVT token (see internal/gvt for the protocol).

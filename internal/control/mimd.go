@@ -1,0 +1,71 @@
+package control
+
+// MIMD is a multiplicative-increase/multiplicative-decrease transfer
+// function with a dead zone: the T component for controllers whose
+// configured item spans orders of magnitude (an optimism window can
+// usefully sit anywhere between a few ticks and tens of thousands), where
+// the additive steps of IntParam would crawl. A cost sample above Upper
+// divides the value by Factor, a sample below Lower multiplies it, and a
+// sample inside the dead zone holds the value exactly — the hysteresis that
+// keeps the controlled parameter from thrashing on noisy observations.
+//
+// MIMD is stateless and pure: Step is a function of its arguments only,
+// so the same observation sequence always produces the same setting
+// sequence regardless of wall-clock scheduling.
+type MIMD struct {
+	// Lower and Upper bound the dead zone on the cost signal. Cost above
+	// Upper shrinks the value, cost below Lower grows it, cost inside
+	// [Lower, Upper] holds it.
+	Lower, Upper float64
+	// Factor is the multiplicative step (> 1; values <= 1 are treated
+	// as 2).
+	Factor float64
+	// Min and Max clamp the value. Min <= 0 is treated as 1; Max below Min
+	// is raised to Min.
+	Min, Max float64
+}
+
+// normalized returns m with its parameters forced into their documented
+// ranges, so a zero or partially filled MIMD still behaves sanely.
+func (m MIMD) normalized() MIMD {
+	if m.Factor <= 1 {
+		m.Factor = 2
+	}
+	if m.Min <= 0 {
+		m.Min = 1
+	}
+	if m.Max < m.Min {
+		m.Max = m.Min
+	}
+	if m.Upper < m.Lower {
+		m.Upper = m.Lower
+	}
+	return m
+}
+
+// Step returns the next value for one cost observation: shrink above the
+// dead zone, grow below it, hold inside it, always clamped to [Min, Max].
+// The step ratio is bounded by Factor in both directions, so a single noisy
+// sample can never move the setting more than one multiplicative notch.
+func (m MIMD) Step(value, cost float64) float64 {
+	m = m.normalized()
+	if value < m.Min {
+		value = m.Min
+	}
+	if value > m.Max {
+		value = m.Max
+	}
+	switch {
+	case cost > m.Upper:
+		value /= m.Factor
+		if value < m.Min {
+			value = m.Min
+		}
+	case cost < m.Lower:
+		value *= m.Factor
+		if value > m.Max {
+			value = m.Max
+		}
+	}
+	return value
+}

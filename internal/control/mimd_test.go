@@ -1,0 +1,118 @@
+package control
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mimdCases sweeps a grid of plausible controller shapes; the property
+// tests below must hold for every one of them.
+var mimdCases = []MIMD{
+	{Lower: 0.2, Upper: 0.5, Factor: 2, Min: 16, Max: 16384},
+	{Lower: 0.1, Upper: 0.3, Factor: 1.5, Min: 1, Max: 100},
+	{Lower: 0.0, Upper: 0.0, Factor: 4, Min: 8, Max: 8},      // degenerate: Min == Max
+	{Lower: 0.25, Upper: 0.25, Factor: 2, Min: 10, Max: 1e6}, // no dead zone
+	{}, // zero value: everything normalized
+	{Lower: 0.5, Upper: 0.2, Factor: 2, Min: 16, Max: 1024}, // inverted zone, normalized
+}
+
+// TestMIMDDeadZoneHold pins the hysteresis property: any cost inside the
+// dead zone leaves the value exactly unchanged — the window never thrashes
+// on observations that sit between the water marks.
+func TestMIMDDeadZoneHold(t *testing.T) {
+	for _, m := range mimdCases {
+		n := m.normalized()
+		for _, v := range []float64{n.Min, (n.Min + n.Max) / 2, n.Max} {
+			for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+				cost := n.Lower + frac*(n.Upper-n.Lower)
+				if got := m.Step(v, cost); got != v {
+					t.Errorf("%+v: Step(%g, %g) = %g inside dead zone, want hold at %g", m, v, cost, got, v)
+				}
+			}
+		}
+	}
+}
+
+// TestMIMDMonotoneInCost pins monotonicity: a higher cost never yields a
+// larger setting. Random sampling over values and cost pairs.
+func TestMIMDMonotoneInCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range mimdCases {
+		n := m.normalized()
+		for i := 0; i < 500; i++ {
+			v := n.Min + rng.Float64()*(n.Max-n.Min)
+			c1 := rng.Float64() * 2
+			c2 := rng.Float64() * 2
+			if c1 > c2 {
+				c1, c2 = c2, c1
+			}
+			if lo, hi := m.Step(v, c2), m.Step(v, c1); lo > hi {
+				t.Fatalf("%+v: Step(%g, cost=%g)=%g > Step(%g, cost=%g)=%g — not monotone in cost",
+					m, v, c2, lo, v, c1, hi)
+			}
+		}
+	}
+}
+
+// TestMIMDMonotoneInValue pins monotonicity in the value: for a fixed cost,
+// a larger current setting never maps below a smaller one.
+func TestMIMDMonotoneInValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range mimdCases {
+		n := m.normalized()
+		for i := 0; i < 500; i++ {
+			v1 := n.Min + rng.Float64()*(n.Max-n.Min)
+			v2 := n.Min + rng.Float64()*(n.Max-n.Min)
+			if v1 > v2 {
+				v1, v2 = v2, v1
+			}
+			c := rng.Float64() * 2
+			if lo, hi := m.Step(v1, c), m.Step(v2, c); lo > hi {
+				t.Fatalf("%+v: Step(%g,%g)=%g > Step(%g,%g)=%g — not monotone in value",
+					m, v1, c, lo, v2, c, hi)
+			}
+		}
+	}
+}
+
+// TestMIMDBoundedStep pins the bounded-step property: one observation moves
+// the value by at most one Factor notch in either direction, and the result
+// always lands inside [Min, Max].
+func TestMIMDBoundedStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range mimdCases {
+		n := m.normalized()
+		for i := 0; i < 500; i++ {
+			v := n.Min + rng.Float64()*(n.Max-n.Min)
+			c := rng.Float64() * 2
+			got := m.Step(v, c)
+			if got < n.Min || got > n.Max {
+				t.Fatalf("%+v: Step(%g,%g)=%g escaped clamp [%g,%g]", m, v, c, got, n.Min, n.Max)
+			}
+			const eps = 1e-9
+			if got > v*n.Factor+eps || got < v/n.Factor-eps {
+				t.Fatalf("%+v: Step(%g,%g)=%g moved more than one ×%g notch", m, v, c, got, n.Factor)
+			}
+		}
+	}
+}
+
+// TestMIMDConvergence drives a constant cost and checks the value saturates
+// at the matching clamp within log_Factor(Max/Min) steps and then stays put
+// — the transfer cannot oscillate under a steady observation.
+func TestMIMDConvergence(t *testing.T) {
+	m := MIMD{Lower: 0.2, Upper: 0.5, Factor: 2, Min: 16, Max: 16384}
+	v := 1024.0
+	for i := 0; i < 64; i++ {
+		v = m.Step(v, 0.9) // steady high cost: shrink to Min and hold
+	}
+	if v != 16 {
+		t.Fatalf("steady high cost converged to %g, want Min=16", v)
+	}
+	for i := 0; i < 64; i++ {
+		v = m.Step(v, 0.05) // steady low cost: grow to Max and hold
+	}
+	if v != 16384 {
+		t.Fatalf("steady low cost converged to %g, want Max=16384", v)
+	}
+}

@@ -164,6 +164,62 @@ func TestExecuteLoopZeroAllocObserved(t *testing.T) {
 // only the LP-side hooks are measured.
 func newTestSampler() *observe.Sampler { return observe.NewSampler(time.Hour) }
 
+// TestExecuteLoopZeroAllocAdaptiveOptimism re-measures the steady-state loop
+// with the adaptive optimism controller armed on top of the observation
+// layer, firing at every GVT application. Injected waste on alternate rounds
+// forces the window to move every round — the store-trace-account path, not
+// just the hold path — and none of it may allocate: the sixth facet rides
+// the same zero-garbage contract as the rest of the hot path.
+func TestExecuteLoopZeroAllocAdaptiveOptimism(t *testing.T) {
+	lp := newAllocHarness()
+	tr := telemetry.NewTracer(1 << 10)
+	tr.Bind(1, time.Now())
+	lp.tr = tr.LP(0)
+	obs := newTestSampler()
+	obs.Bind(1, tr.System())
+	lp.obs = obs
+	optCfg := OptimismConfig{
+		Mode: OptimismAdaptive, Window: 100, Min: 50, Max: 100,
+		Period: 1, HighWater: 0.3, LowWater: 0.1, Factor: 2, MinSample: 1,
+	}.withDefaults(0)
+	lp.k.optAdaptive = true
+	lp.k.optWin.Store(int64(optCfg.Window))
+	lp.opt = newOptController(optCfg)
+
+	step := func() {
+		lp.drainDeferred()
+		slot, tm := lp.sched.Min()
+		if slot < 0 || tm == vtime.PosInf {
+			panic("alloc harness drained")
+		}
+		o := lp.objs[slot]
+		o.executeNext()
+		lp.refresh(o)
+		lp.obs.PublishLVT(lp.id, int64(o.lvt))
+	}
+	rounds := 0
+	round := func() {
+		for i := 0; i < 64; i++ {
+			step()
+		}
+		if rounds%2 == 0 {
+			lp.st.EventsRolledBack += 48 // synthetic waste: forces a tighten
+		}
+		rounds++
+		lp.applyGVT(lp.localMin())
+	}
+	for i := 0; i < 16; i++ {
+		round()
+	}
+	before := lp.st.OptimismAdjustments
+	if n := testing.AllocsPerRun(64, round); n != 0 {
+		t.Errorf("adaptive-optimism execute loop allocated %.2f times per 64-event round, want 0", n)
+	}
+	if lp.st.OptimismAdjustments == before {
+		t.Fatal("controller never moved the window; measurement is vacuous")
+	}
+}
+
 // TestExecutePathAllocationBudget is the facets-enabled companion: with
 // dynamic cancellation, dynamic checkpointing and the delta+lz state codec
 // all on, the marginal allocation cost per committed event (long run minus

@@ -110,6 +110,16 @@ type Config struct {
 	// encoding from observed stored sizes. The zero value is off: cloned
 	// checkpoints and uncompressed payloads, exactly the pre-codec kernel.
 	Codec codec.Config
+
+	// Optimism configures optimism control as the sixth facet: the window
+	// becomes a controlled item whose on-line controller consumes the
+	// observation sampler's wasted-work and LVT-roughness signals and
+	// tightens or relaxes the bound at run time (see OptimismConfig). The
+	// zero value is static: the kernel runs with OptimismWindow unchanged,
+	// exactly the pre-facet behavior. When the adaptive mode is selected
+	// and Observe is nil, the kernel creates a sampler itself — the
+	// controller cannot steer blind.
+	Optimism OptimismConfig
 }
 
 // BalanceMode selects how object placement is managed, mirroring the other
@@ -236,6 +246,12 @@ type Result struct {
 	// objects. Wall-clock-dependent when balancing is on, so it is not part
 	// of the deterministic run artifact.
 	FinalPartition []int
+	// FinalOptimismWindow is the optimism window in force when the run
+	// ended (0 = unbounded). It equals the configured window unless the
+	// adaptive optimism facet or a tuner override moved it; wall-clock-
+	// dependent when adaptive, so — like FinalPartition — it is not part of
+	// the deterministic run artifact.
+	FinalOptimismWindow vtime.Time
 }
 
 // EventRate returns committed events per second of wall-clock time — the

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"gowarp/internal/audit"
@@ -29,6 +30,13 @@ type shared struct {
 	// board is the load balancer's observation channel; nil unless
 	// Config.Balance.Enabled.
 	board *stats.LoadBoard
+
+	// optAdaptive marks the adaptive optimism facet active; optWin is then
+	// the window in force (0 = unbounded), written by LP 0's controller
+	// (and tuner overrides) and read by every LP's horizon(). Static runs
+	// never touch either.
+	optAdaptive bool
+	optWin      atomic.Int64
 }
 
 // lpRun is one logical process: a goroutine owning a set of simulation
@@ -106,6 +114,10 @@ type lpRun struct {
 	// Config.Balance.Enabled, so static runs pay one pointer comparison.
 	ld  *loadRecorder
 	bal *balancer
+
+	// opt is the adaptive optimism controller (LP 0 only; nil unless
+	// Config.Optimism selects the adaptive mode).
+	opt *optController
 }
 
 // refresh re-keys o in the schedule heap after its pending set changed.
@@ -255,6 +267,11 @@ func (lp *lpRun) handlePacket(p comm.Packet) {
 	case comm.PktGVT:
 		lp.gvtMgr.Apply(p.GVT)
 		lp.applyGVT(p.GVT)
+	case comm.PktOptim:
+		// Wake-only: the adaptive optimism window lives in the shared
+		// atomic slot, so the payload is the arrival itself — it broke the
+		// idle() select of an LP blocked at the old horizon, and the run
+		// loop re-reads horizon() on its next iteration.
 	case comm.PktStop:
 		lp.running = false
 	}
@@ -280,13 +297,20 @@ func (lp *lpRun) localMin() vtime.Time {
 // horizon returns the latest virtual time this LP may optimistically execute
 // at: unbounded without an optimism window, otherwise the last known GVT
 // (floored at zero, since GVT starts at -inf) plus the window. Blocked LPs
-// idle, which forces GVT computations, which advance the horizon.
+// idle, which forces GVT computations, which advance the horizon — and under
+// the adaptive facet they are additionally woken when the controller widens
+// the window (see runOptimism). Under that facet the shared slot is
+// authoritative: a tuner override re-seeds the slot at GVT instead of
+// masking the controller here.
 func (lp *lpRun) horizon() vtime.Time {
 	w := lp.cfg.OptimismWindow
 	if tn := lp.cfg.Tuner; tn != nil {
 		if ov, ok := tn.windowOverride(); ok {
 			w = ov
 		}
+	}
+	if lp.k.optAdaptive {
+		w = vtime.Time(lp.k.optWin.Load())
 	}
 	if w <= 0 {
 		return vtime.PosInf
@@ -345,6 +369,11 @@ func (lp *lpRun) applyGVT(g vtime.Time) {
 	if lp.obs != nil {
 		lp.obs.PublishGVT(int64(g))
 		lp.obs.PublishProgress(lp.id, lp.st.EventsCommitted, lp.st.EventsRolledBack)
+	}
+	if lp.opt != nil {
+		// After the progress publish above, so the controller's window
+		// includes this LP's own latest counters.
+		lp.runOptimism()
 	}
 	if lp.met != nil {
 		lp.publishMetrics(g)

@@ -34,6 +34,9 @@ type runMetrics struct {
 	checkpointBytes *telemetry.Metric
 	capsuleBytes    *telemetry.Metric
 	codecSwitches   *telemetry.Metric
+
+	optWindow   *telemetry.Metric
+	optSwitches *telemetry.Metric
 }
 
 func newRunMetrics(reg *telemetry.Registry, numLPs int) *runMetrics {
@@ -62,6 +65,9 @@ func newRunMetrics(reg *telemetry.Registry, numLPs int) *runMetrics {
 		checkpointBytes: reg.Counter("gowarp_checkpoint_bytes_total", "Checkpoint bytes stored after codec encoding and compression.", true),
 		capsuleBytes:    reg.Counter("gowarp_capsule_bytes_total", "Migration-capsule bytes shipped after codec encoding (sender side).", true),
 		codecSwitches:   reg.Counter("gowarp_codec_switches_total", "State-codec full/delta encoding switches.", true),
+
+		optWindow:   reg.Gauge("gowarp_optimism_window", "Optimism window currently in force (virtual-time units past GVT; 0 = unbounded).", false),
+		optSwitches: reg.Counter("gowarp_optimism_switches_total", "Adaptive-optimism window adjustments.", true),
 	}
 }
 
@@ -99,6 +105,12 @@ func (lp *lpRun) publishMetrics(g vtime.Time) {
 	m.checkpointBytes.Set(id, float64(st.CheckpointBytes))
 	m.capsuleBytes.Set(id, float64(st.CapsuleBytes))
 	m.codecSwitches.Set(id, float64(st.CodecSwitches))
+	m.optSwitches.Set(id, float64(st.OptimismAdjustments))
+	w := lp.cfg.OptimismWindow
+	if lp.k.optAdaptive {
+		w = vtime.Time(lp.k.optWin.Load())
+	}
+	m.optWindow.Set(0, float64(w))
 
 	meanChi, lazy, meanWindow := lp.controlSnapshot()
 	m.meanChi.Set(id, meanChi)

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"gowarp/internal/control"
+	"gowarp/internal/vtime"
+)
+
+// OptimismMode selects how the optimism window is managed, mirroring the
+// other facets' Mode fields.
+type OptimismMode int
+
+const (
+	// OptimismStatic keeps the configured window (or unbounded optimism
+	// when none is set) for the whole run — the pre-facet behavior.
+	OptimismStatic OptimismMode = iota
+	// OptimismAdaptive turns the window into the sixth on-line controlled
+	// facet: a controller on LP 0 consumes the observation sampler's
+	// wasted-work and LVT-roughness signals at GVT applications and
+	// tightens or relaxes the window multiplicatively.
+	OptimismAdaptive
+)
+
+// String names the mode for reports and flags.
+func (m OptimismMode) String() string {
+	if m == OptimismAdaptive {
+		return "adaptive"
+	}
+	return "static"
+}
+
+// OptimismConfig parameterizes optimism control as the paper's control
+// tuple: the sampled output O is the windowed wasted-work ratio
+// (rolled-back / committed events between controller firings) plus the LVT
+// spread from the observation sampler, the configured item I is the
+// optimism window itself (the Palaniswamy & Wilsey bounded time window), the
+// initial setting S is Window, the transfer function T is a dead-zone MIMD
+// step (see control.MIMD) extended with an unbounded sentinel — relaxing
+// past Max opens optimism fully, and waste while unbounded re-enters the
+// bounded range at Max — and the period P is a multiple of the GVT period.
+type OptimismConfig struct {
+	// Mode selects the static window or the adaptive controller.
+	Mode OptimismMode
+	// Window is the initial setting S (virtual-time units past GVT).
+	// Zero inherits Config.OptimismWindow; if that is also zero the run
+	// starts with unbounded optimism and tightens only when waste or
+	// roughness appears.
+	Window vtime.Time
+	// Min and Max bound the adaptive window. Relaxing at Max goes
+	// unbounded; tightening while unbounded re-enters at Max. Defaults:
+	// Min = max(Window/8, 16), Max = max(8*Window, 16384).
+	Min vtime.Time
+	Max vtime.Time
+	// Period is the number of GVT applications between controller firings
+	// (the P component; default 4).
+	Period int
+	// HighWater and LowWater bound the dead zone on the windowed
+	// wasted-work ratio: the controller tightens above HighWater, relaxes
+	// below LowWater, and holds the window in between (defaults 0.5 and
+	// 0.2).
+	HighWater float64
+	LowWater  float64
+	// Factor is the multiplicative step per firing (default 2).
+	Factor float64
+	// MinSample is the minimum number of events committed across all LPs
+	// within the observation window before the controller acts; thinner
+	// windows extend instead of deciding on noise (default 64).
+	MinSample int64
+	// RoughFactor arms the preemptive roughness trigger: while the window
+	// is unbounded, an LVT spread wider than RoughFactor*Max counts as a
+	// tighten signal even before rollback waste materializes — Korniss et
+	// al.'s point that surface roughness precedes the storm (default 4).
+	RoughFactor float64
+}
+
+// Adaptive reports whether the adaptive optimism controller is selected.
+func (c OptimismConfig) Adaptive() bool { return c.Mode == OptimismAdaptive }
+
+// withDefaults resolves the zero values; static is the kernel-level
+// Config.OptimismWindow the Window field inherits when unset.
+func (c OptimismConfig) withDefaults(static vtime.Time) OptimismConfig {
+	if c.Window <= 0 {
+		c.Window = static
+	}
+	if c.Window < 0 {
+		c.Window = 0
+	}
+	if c.Period <= 0 {
+		c.Period = 4
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = 0.5
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 0.2
+	}
+	if c.LowWater > c.HighWater {
+		c.LowWater = c.HighWater
+	}
+	if c.Factor <= 1 {
+		c.Factor = 2
+	}
+	if c.MinSample <= 0 {
+		c.MinSample = 64
+	}
+	if c.RoughFactor <= 0 {
+		c.RoughFactor = 4
+	}
+	if c.Max <= 0 {
+		c.Max = 8 * c.Window
+		if c.Max < 16384 {
+			c.Max = 16384
+		}
+	}
+	if c.Min <= 0 {
+		c.Min = c.Window / 8
+		if c.Min < 16 {
+			c.Min = 16
+		}
+	}
+	// A positive initial window must be reachable: widen the clamps to
+	// admit it rather than snapping the user's starting point.
+	if c.Window > 0 && c.Window > c.Max {
+		c.Max = c.Window
+	}
+	if c.Window > 0 && c.Window < c.Min {
+		c.Min = c.Window
+	}
+	if c.Min > c.Max {
+		c.Min = c.Max
+	}
+	return c
+}
+
+// adaptWindow is the facet's transfer function T: one MIMD step over the
+// cost signal, extended with the unbounded sentinel (window 0). It is pure —
+// the same (window, cost) always maps to the same next window — which is
+// what makes the controller's switch sequence a deterministic function of
+// its observation sequence.
+func adaptWindow(cfg OptimismConfig, w vtime.Time, cost float64) vtime.Time {
+	if w <= 0 {
+		// Unbounded: only a tighten signal re-enters the bounded range,
+		// and it lands at Max so the clamp-down stays one notch per firing.
+		if cost > cfg.HighWater {
+			return cfg.Max
+		}
+		return 0
+	}
+	if cost < cfg.LowWater && w >= cfg.Max {
+		return 0 // relaxed past the widest bounded window: open fully
+	}
+	m := control.MIMD{
+		Lower: cfg.LowWater, Upper: cfg.HighWater,
+		Factor: cfg.Factor,
+		Min:    float64(cfg.Min), Max: float64(cfg.Max),
+	}
+	return vtime.Time(m.Step(float64(w), cost))
+}
+
+// optController is the adaptive optimism facet's controller, owned by LP 0
+// and fired at GVT applications (mirroring the load balancer's placement).
+// It keeps the previous progress snapshot so each firing evaluates the
+// waste of the window just ended, not the whole run.
+type optController struct {
+	cfg  OptimismConfig
+	tick *control.Ticker
+
+	// primed flips after the first snapshot; the first firing only
+	// baselines the counters.
+	primed                    bool
+	lastCommitted, lastRolled int64
+
+	// roughLimit is the precomputed LVT-spread threshold for the
+	// preemptive tighten while unbounded.
+	roughLimit int64
+}
+
+func newOptController(cfg OptimismConfig) *optController {
+	return &optController{
+		cfg:        cfg,
+		tick:       control.NewTicker(cfg.Period),
+		roughLimit: int64(cfg.RoughFactor * float64(cfg.Max)),
+	}
+}
+
+// step consumes one controller opportunity given the sampler's cumulative
+// progress counters, the current LVT spread, and the window in force. It
+// returns the window to run with next, the cost that drove the decision,
+// and whether the window moved. Deterministic in its inputs: two
+// controllers fed the same observation sequence produce the same switch
+// sequence.
+func (c *optController) step(committed, rolled, width int64, widthKnown bool, w vtime.Time) (next vtime.Time, cost float64, moved bool) {
+	if !c.tick.Tick() {
+		return w, 0, false
+	}
+	if !c.primed {
+		c.primed = true
+		c.lastCommitted, c.lastRolled = committed, rolled
+		return w, 0, false
+	}
+	dc := committed - c.lastCommitted
+	dr := rolled - c.lastRolled
+	if dc < c.cfg.MinSample {
+		return w, 0, false // thin window: extend it rather than decide on noise
+	}
+	c.lastCommitted, c.lastRolled = committed, rolled
+	cost = float64(dr) / float64(dc)
+	if w <= 0 && widthKnown && width > c.roughLimit && cost <= c.cfg.HighWater {
+		// Roughness precedes waste: an unbounded run whose LVT surface has
+		// spread past the rough limit is headed for a storm even if the
+		// rollbacks have not landed yet. Force a tighten signal.
+		cost = c.cfg.HighWater + 1
+	}
+	next = adaptWindow(c.cfg, w, cost)
+	return next, cost, next != w
+}
+
+// runOptimism fires the adaptive optimism controller (LP 0 only, from
+// applyGVT). A moved window is published through the shared atomic slot
+// every LP's horizon() reads; a relaxed window additionally broadcasts a
+// wake packet, because peers blocked at the old horizon are sleeping in
+// idle() and would otherwise only notice the wider window at their next
+// idle tick or GVT broadcast.
+func (lp *lpRun) runOptimism() {
+	committed, rolled := lp.obs.ProgressTotals()
+	width, widthKnown := lp.obs.LVTSpread()
+	w := vtime.Time(lp.k.optWin.Load())
+	next, cost, moved := lp.opt.step(committed, rolled, width, widthKnown, w)
+	if !moved {
+		return
+	}
+	lp.k.optWin.Store(int64(next))
+	lp.st.OptimismAdjustments++
+	lp.tr.OptSwitch(int64(w), int64(next), int64(cost*1000), width)
+	if w > 0 && (next <= 0 || next > w) && lp.ep != nil {
+		// ep is nil only in the synchronous test harness.
+		lp.ep.BroadcastOptim()
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"gowarp/internal/event"
 	"gowarp/internal/gvt"
 	"gowarp/internal/model"
+	"gowarp/internal/observe"
 	"gowarp/internal/pq"
 	"gowarp/internal/route"
 	"gowarp/internal/statesave"
@@ -31,6 +32,17 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 	numLPs := m.NumLPs()
 	cfg.Balance = cfg.Balance.withDefaults()
 	cfg.Codec = cfg.Codec.WithDefaults()
+	cfg.Optimism = cfg.Optimism.withDefaults(cfg.OptimismWindow)
+	if cfg.Optimism.Mode == OptimismStatic && cfg.Optimism.Window > 0 {
+		// The facet config is authoritative either way: in static mode it
+		// simply sets the kernel window.
+		cfg.OptimismWindow = cfg.Optimism.Window
+	}
+	if cfg.Optimism.Adaptive() && cfg.Observe == nil {
+		// The controller steers by the sampler's wasted-work and LVT
+		// signals; create one when the caller didn't.
+		cfg.Observe = observe.NewSampler(0)
+	}
 
 	sh := &shared{
 		rt:   route.New(m.Partition),
@@ -38,6 +50,10 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 	}
 	if cfg.Balance.Dynamic() {
 		sh.board = stats.NewLoadBoard(len(m.Objects), numLPs)
+	}
+	if cfg.Optimism.Adaptive() {
+		sh.optAdaptive = true
+		sh.optWin.Store(int64(cfg.Optimism.Window))
 	}
 
 	start := time.Now()
@@ -83,6 +99,9 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 			if i == 0 {
 				lp.bal = newBalancer(cfg.Balance)
 			}
+		}
+		if cfg.Optimism.Adaptive() && i == 0 {
+			lp.opt = newOptController(cfg.Optimism)
 		}
 		lp.ep = net.NewEndpoint(i, cfg.Aggregation, &lp.st)
 		lp.ep.Pool = lp.pool
@@ -201,13 +220,23 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		finishAudit(cfg.Audit, lps, leftovers)
 	}
 
+	finalWindow := cfg.OptimismWindow
+	if tn := cfg.Tuner; tn != nil {
+		if ov, ok := tn.windowOverride(); ok {
+			finalWindow = ov
+		}
+	}
+	if sh.optAdaptive {
+		finalWindow = vtime.Time(sh.optWin.Load())
+	}
 	res := &Result{
-		PerLP:          make([]stats.Counters, numLPs),
-		PerObject:      make([]stats.PerObject, 0, len(sh.objs)),
-		GVT:            lps[0].gvtMgr.GVT(),
-		Elapsed:        elapsed,
-		FinalStates:    make([]model.State, len(sh.objs)),
-		FinalPartition: sh.rt.Assignment(),
+		PerLP:               make([]stats.Counters, numLPs),
+		PerObject:           make([]stats.PerObject, 0, len(sh.objs)),
+		GVT:                 lps[0].gvtMgr.GVT(),
+		Elapsed:             elapsed,
+		FinalStates:         make([]model.State, len(sh.objs)),
+		FinalPartition:      sh.rt.Assignment(),
+		FinalOptimismWindow: finalWindow,
 	}
 	for _, o := range sh.objs {
 		o.commitRemaining()

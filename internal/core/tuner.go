@@ -102,4 +102,13 @@ func (lp *lpRun) applyTuner() {
 			o.out.Selector().Override(cancel.Lazy)
 		}
 	}
+	if lp.opt != nil {
+		// Under the adaptive optimism facet an external window override
+		// re-seeds the controller's shared slot (the composition rule for
+		// every on-line controller: force, then keep adapting from the
+		// forced value) instead of masking it in horizon().
+		if ov, ok := tn.windowOverride(); ok {
+			lp.k.optWin.Store(int64(ov))
+		}
+	}
 }

@@ -194,6 +194,50 @@ func (s *Sampler) RecordRollback(depth int64) {
 	s.depthSum.Add(depth)
 }
 
+// ProgressTotals sums the committed and rolled-back event counters last
+// published by the LPs at their GVT applications. Atomic loads only, no
+// allocation — the adaptive optimism controller calls it on the GVT path.
+// Nil-safe.
+func (s *Sampler) ProgressTotals() (committed, rolled int64) {
+	if s == nil {
+		return 0, 0
+	}
+	for i := range s.committed {
+		committed += s.committed[i].Load()
+		rolled += s.rolled[i].Load()
+	}
+	return committed, rolled
+}
+
+// LVTSpread returns the current spread (max − min) over the published local
+// virtual times and whether any LP has published one yet — the roughness
+// "surface width" at this instant, without waiting for the sampling
+// goroutine's period. Atomic loads only, no allocation. Nil-safe.
+func (s *Sampler) LVTSpread() (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	minLVT, maxLVT := int64(math.MaxInt64), int64(math.MinInt64)
+	n := 0
+	for i := range s.lvt {
+		v := s.lvt[i].Load()
+		if v == unpublished || v == math.MaxInt64 {
+			continue
+		}
+		if v < minLVT {
+			minLVT = v
+		}
+		if v > maxLVT {
+			maxLVT = v
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return maxLVT - minLVT, true
+}
+
 // Start launches the sampling goroutine. The kernel calls it once the LPs
 // are wired; Stop must be called before reading aggregates. Nil-safe, and
 // a no-op when unbound or already running.

@@ -93,6 +93,9 @@ type Counters struct {
 	// BalanceSteps counts load-balancing controller invocations that issued
 	// at least one migration request.
 	BalanceSteps int64
+	// OptimismAdjustments counts adaptive-optimism controller firings that
+	// moved the window.
+	OptimismAdjustments int64
 
 	// State-codec accounting. CheckpointRawBytes is the full state encoding
 	// size summed over checkpoints; CheckpointBytes what was actually stored
@@ -156,6 +159,7 @@ func (c *Counters) Merge(o *Counters) {
 	c.MigratedEvents += o.MigratedEvents
 	c.ForwardedMsgs += o.ForwardedMsgs
 	c.BalanceSteps += o.BalanceSteps
+	c.OptimismAdjustments += o.OptimismAdjustments
 	c.CheckpointRawBytes += o.CheckpointRawBytes
 	c.CheckpointBytes += o.CheckpointBytes
 	c.DeltaCheckpoints += o.DeltaCheckpoints
@@ -236,6 +240,7 @@ func (c *Counters) Report() string {
 		{"migrations", fmt.Sprintf("%d (%d events carried)", c.Migrations, c.MigratedEvents)},
 		{"forwarded msgs", fmt.Sprint(c.ForwardedMsgs)},
 		{"balance steps", fmt.Sprint(c.BalanceSteps)},
+		{"optimism adjustments", fmt.Sprint(c.OptimismAdjustments)},
 		{"checkpoint bytes", fmt.Sprintf("%d stored / %d raw (%d deltas, %d switches)",
 			c.CheckpointBytes, c.CheckpointRawBytes, c.DeltaCheckpoints, c.CodecSwitches)},
 		{"capsule bytes", fmt.Sprintf("%d stored / %d raw (%d batched)",

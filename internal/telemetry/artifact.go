@@ -58,6 +58,16 @@ type RunSummary struct {
 	// rollback episodes that undid at most observe.DepthBounds[i] events,
 	// with the final slot as the overflow bucket.
 	RollbackDepthHist []int64 `json:"rollback_depth_hist,omitempty"`
+	// FinalOptimismWindow is the optimism window in force when the run
+	// ended (0 = unbounded — always emitted, because the adaptive
+	// controller relaxing fully open is a result, not an absence). It moves
+	// under the adaptive optimism facet, whose trajectory is
+	// wall-clock-dependent, hence — like FinalPartition — excluded from
+	// Deterministic.
+	FinalOptimismWindow int64 `json:"final_optimism_window"`
+	// OptimismSwitches counts adaptive-optimism window adjustments (also in
+	// Stats; surfaced here so reports can read it without the full tally).
+	OptimismSwitches int64 `json:"optimism_switches,omitempty"`
 }
 
 // RoughnessSummary condenses a run's virtual-time roughness samples: how

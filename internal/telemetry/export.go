@@ -67,6 +67,9 @@ func jsonlArgs(ev Event) string {
 	case KindRoughness:
 		return fmt.Sprintf(`"gvt":%d,"min_lvt":%d,"max_lvt":%d,"mean_lvt":%d,"stddev_lvt":%d,"lag_lp":%d,"wasted":%.3f`,
 			ev.VT, ev.A, ev.B, ev.C, ev.D, ev.Object, float64(ev.E)/1000)
+	case KindOptSwitch:
+		return fmt.Sprintf(`"old_window":%d,"new_window":%d,"wasted":%.3f,"lvt_width":%d`,
+			ev.A, ev.B, float64(ev.C)/1000, ev.D)
 	default:
 		return fmt.Sprintf(`"a":%d,"b":%d,"c":%d`, ev.A, ev.B, ev.C)
 	}

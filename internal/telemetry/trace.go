@@ -45,6 +45,9 @@ const (
 	// LVT vector across LPs at a wall-clock instant (recorded by the
 	// observation sampler into the tracer's system ring).
 	KindRoughness
+	// KindOptSwitch is one adaptive-optimism controller firing that moved
+	// the window (recorded by LP 0, the controller's owner).
+	KindOptSwitch
 )
 
 // String names the kind as it appears in exported traces.
@@ -70,6 +73,8 @@ func (k Kind) String() string {
 		return "codec_switch"
 	case KindRoughness:
 		return "roughness"
+	case KindOptSwitch:
+		return "opt_switch"
 	default:
 		return "unknown"
 	}
@@ -349,6 +354,17 @@ func (t *LPTrace) BalanceStep(imbalancePermille int64, active bool, moves int64)
 		act = 1
 	}
 	t.record(Event{Kind: KindBalance, Object: -1, A: imbalancePermille, B: act, C: moves})
+}
+
+// OptSwitch records one adaptive-optimism controller firing that moved the
+// window: the window before and after (0 = unbounded), the windowed
+// wasted-work ratio in thousandths that drove the decision, and the LVT
+// spread at the decision point.
+func (t *LPTrace) OptSwitch(oldW, newW, wastedPermille, lvtWidth int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Kind: KindOptSwitch, Object: -1, A: oldW, B: newW, C: wastedPermille, D: lvtWidth})
 }
 
 // CodecSwitch records a state-codec encoding change on obj: toDelta is the

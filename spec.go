@@ -139,6 +139,81 @@ func ParseCodecSpec(spec string) (CodecConfig, error) {
 	return cfg, nil
 }
 
+// ParseOptSpec parses an optimism facet spec:
+//
+//	off                        unbounded optimism (the default)
+//	static,window=2000         fixed bounded time window
+//	adaptive                   on-line controller, default tuning
+//	adaptive,window=2000,min=250,max=16000,period=2,high=0.5,low=0.2,factor=2,min-sample=64,rough=4
+//
+// Keys: window (initial window in virtual-time units past GVT; adaptive
+// runs without one start unbounded), min/max (adaptive window clamps;
+// relaxing at max opens optimism fully), period (GVT cycles between
+// controller firings), high/low (dead-zone bounds on the windowed
+// wasted-work ratio), factor (multiplicative step), min-sample (minimum
+// committed events per observation window), rough (LVT-spread multiple of
+// max that triggers a preemptive tighten while unbounded).
+func ParseOptSpec(spec string) (OptimismConfig, error) {
+	var cfg OptimismConfig
+	parts := strings.Split(spec, ",")
+	switch parts[0] {
+	case "", "off":
+		if len(parts) > 1 {
+			return cfg, fmt.Errorf("optimism spec %q: parameters need mode static or adaptive", spec)
+		}
+		return cfg, nil
+	case "static":
+		cfg.Mode = OptimismStatic
+	case "adaptive", "dynamic", "on":
+		cfg.Mode = OptimismAdaptive
+	default:
+		return cfg, fmt.Errorf("optimism spec %q: unknown mode %q (off, static or adaptive)", spec, parts[0])
+	}
+	for _, p := range parts[1:] {
+		key, val, err := splitSpecParam(spec, p)
+		if err != nil {
+			return cfg, err
+		}
+		if cfg.Mode == OptimismStatic && key != "window" {
+			return cfg, fmt.Errorf("optimism spec %q: %s needs mode adaptive", spec, key)
+		}
+		var n int
+		switch key {
+		case "window":
+			n, err = parseSpecInt(spec, key, val)
+			cfg.Window = VTime(n)
+		case "min":
+			n, err = parseSpecInt(spec, key, val)
+			cfg.Min = VTime(n)
+		case "max":
+			n, err = parseSpecInt(spec, key, val)
+			cfg.Max = VTime(n)
+		case "period":
+			cfg.Period, err = parseSpecInt(spec, key, val)
+		case "high":
+			cfg.HighWater, err = parseSpecFloat(spec, key, val)
+		case "low":
+			cfg.LowWater, err = parseSpecFloat(spec, key, val)
+		case "factor":
+			cfg.Factor, err = parseSpecFloat(spec, key, val)
+		case "min-sample":
+			n, err = parseSpecInt(spec, key, val)
+			cfg.MinSample = int64(n)
+		case "rough":
+			cfg.RoughFactor, err = parseSpecFloat(spec, key, val)
+		default:
+			return cfg, fmt.Errorf("optimism spec %q: unknown key %q", spec, key)
+		}
+		if err != nil {
+			return cfg, err
+		}
+	}
+	if cfg.Mode == OptimismStatic && cfg.Window <= 0 {
+		return cfg, fmt.Errorf("optimism spec %q: mode static needs window=N", spec)
+	}
+	return cfg, nil
+}
+
 func splitSpecParam(spec, p string) (key, val string, err error) {
 	key, val, ok := strings.Cut(p, "=")
 	if !ok || key == "" || val == "" {

@@ -95,6 +95,56 @@ func TestParseCodecSpecErrors(t *testing.T) {
 	}
 }
 
+func TestParseOptSpec(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want OptimismConfig
+	}{
+		{"off", OptimismConfig{}},
+		{"", OptimismConfig{}},
+		{"static,window=2000", OptimismConfig{Mode: OptimismStatic, Window: 2000}},
+		{"adaptive", OptimismConfig{Mode: OptimismAdaptive}},
+		{"dynamic", OptimismConfig{Mode: OptimismAdaptive}},
+		{"on", OptimismConfig{Mode: OptimismAdaptive}},
+		{"adaptive,window=2000", OptimismConfig{Mode: OptimismAdaptive, Window: 2000}},
+		{
+			"adaptive,window=2000,min=250,max=16000,period=2,high=0.5,low=0.2,factor=2,min-sample=64,rough=4",
+			OptimismConfig{
+				Mode: OptimismAdaptive, Window: 2000, Min: 250, Max: 16000, Period: 2,
+				HighWater: 0.5, LowWater: 0.2, Factor: 2, MinSample: 64, RoughFactor: 4,
+			},
+		},
+	} {
+		got, err := ParseOptSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseOptSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseOptSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestParseOptSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",
+		"off,window=100",
+		"static",
+		"static,window=0",
+		"static,min=8",
+		"adaptive,window=0",
+		"adaptive,window",
+		"adaptive,high=-1",
+		"adaptive,min-sample=nope",
+		"adaptive,frobnicate=2",
+	} {
+		if _, err := ParseOptSpec(spec); err == nil {
+			t.Errorf("ParseOptSpec(%q): want error, got nil", spec)
+		}
+	}
+}
+
 func TestConfigBuilder(t *testing.T) {
 	tr := NewTracer(16)
 	cfg := NewConfig(100_000).
@@ -103,6 +153,7 @@ func TestConfigBuilder(t *testing.T) {
 		WithAggregation(SAAW, 50*time.Microsecond).
 		WithBalance(BalanceDynamic).
 		WithCodec(CodecDynamic, LZCompression).
+		WithOptimism(OptimismAdaptive, 2000).
 		WithGVTPeriod(time.Millisecond).
 		WithOptimismWindow(500).
 		WithPendingSet(SplayPendingSet).
@@ -127,6 +178,9 @@ func TestConfigBuilder(t *testing.T) {
 	}
 	if cfg.Codec.Mode != CodecDynamic || cfg.Codec.Compression != LZCompression {
 		t.Errorf("Codec = %+v", cfg.Codec)
+	}
+	if cfg.Optimism.Mode != OptimismAdaptive || cfg.Optimism.Window != 2000 {
+		t.Errorf("Optimism = %+v", cfg.Optimism)
 	}
 	if cfg.OptimismWindow != 500 || cfg.PendingSet != SplayPendingSet {
 		t.Errorf("kernel knobs = %+v %v", cfg.OptimismWindow, cfg.PendingSet)
