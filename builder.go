@@ -158,6 +158,14 @@ func (b *ConfigBuilder) WithAudit(a *Auditor) *ConfigBuilder {
 	return b
 }
 
+// WithTransport sets the communication transport. Nil (the default) selects
+// the in-process transport; a TCP transport makes this process one rank of a
+// multi-process run.
+func (b *ConfigBuilder) WithTransport(t Transport) *ConfigBuilder {
+	b.cfg.Transport = t
+	return b
+}
+
 // WithTuner attaches an external parameter tuner.
 func (b *ConfigBuilder) WithTuner(t *Tuner) *ConfigBuilder {
 	b.cfg.Tuner = t

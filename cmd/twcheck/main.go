@@ -16,11 +16,17 @@
 // final states, or any runtime invariant violation, fails the sweep with a
 // nonzero exit.
 //
+// A separate multi-process leg (-model multiproc, which needs -twsim pointing
+// at a built binary) spawns two twsim ranks over TCP loopback and checks the
+// coordinator's artifact — committed events and final state hash — against a
+// solo in-process run of the same model and seed.
+//
 // Examples:
 //
 //	twcheck                      # all models, the 9-cell diagonal
 //	twcheck -full                # all models, the full 81-cell matrix
 //	twcheck -model phold -v      # one model, per-cell table
+//	twcheck -model multiproc -twsim ./twsim   # two-process TCP oracle leg
 package main
 
 import (
@@ -230,7 +236,8 @@ var checks = []check{
 func main() {
 	var (
 		full      = flag.Bool("full", false, "run the full 81-cell matrix (default: the 9-cell diagonal covering every policy value)")
-		modelName = flag.String("model", "", "restrict the sweep to one model: phold, qnet, smmp, raid, phold-mig, smmp-mig, smmp-obs, smmp-opt, phold-opt-mig, phold-codec, smmp-codec, smmp-codec-mig")
+		modelName = flag.String("model", "", "restrict the sweep to one model: phold, qnet, smmp, raid, phold-mig, smmp-mig, smmp-obs, smmp-opt, phold-opt-mig, phold-codec, smmp-codec, smmp-codec-mig, multiproc")
+		twsimBin  = flag.String("twsim", "", "path to a built twsim binary, required by the multiproc leg (which spawns two OS processes over TCP loopback)")
 		seed      = flag.Uint64("seed", 1, "model random seed")
 		gvtPeriod = flag.Duration("gvt-period", 200*time.Microsecond, "GVT period for the parallel legs")
 		verbose   = flag.Bool("v", false, "print the full per-cell table for every model")
@@ -244,6 +251,15 @@ func main() {
 
 	failed := 0
 	ran := 0
+	// The multiproc leg spawns real twsim processes rather than driving the
+	// in-process oracle, so it runs only when selected explicitly.
+	if *modelName == "multiproc" {
+		if err := runMultiproc(*twsimBin, *seed, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "twcheck: multiproc: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	for _, c := range checks {
 		if *modelName != "" && c.name != *modelName {
 			continue

@@ -57,6 +57,8 @@ func main() {
 
 		codecSpec = flag.String("codec", "off", "state-codec facet spec: off, lz, full[,lz], delta[,lz][,full-every=N], dynamic[,lz][,full-every=N][,period=N][,low=F][,high=F]")
 
+		transportFlag = flag.String("transport", "inproc", "transport spec: inproc, or tcp,rank=N,peers=HOST:PORT;HOST:PORT;... [,listen=ADDR][,timeout=DUR] — start every rank of one run with the same peers list and its own rank; rank 0 gathers the full results")
+
 		perMsg    = flag.Duration("msg-cost", 0, "simulated per-physical-message CPU overhead")
 		eventCost = flag.Duration("event-cost", 0, "simulated CPU burn per event")
 		gvtPeriod = flag.Duration("gvt-period", 10*time.Millisecond, "GVT computation period")
@@ -92,6 +94,14 @@ func main() {
 	// instead of quietly running a different configuration.
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected argument %q (spec flags need the -flag=value form, e.g. -optimism=adaptive)", flag.Arg(0)))
+	}
+
+	tspec, err := gowarp.ParseTransportSpec(*transportFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if tspec.Kind == "tcp" && *sequential {
+		fatal(fmt.Errorf("-sequential runs in one process; drop -transport"))
 	}
 
 	if *cpuProf != "" {
@@ -267,6 +277,20 @@ func main() {
 		fatal(fmt.Errorf("unknown pending-set %q", *pending))
 	}
 
+	rank, ranks := 0, 1
+	if tspec.Kind == "tcp" {
+		rank, ranks = tspec.Rank, len(tspec.Peers)
+		tr, terr := tspec.NewTransport(m.NumLPs(), cfg.Cost, cfg.InboxDepth)
+		if terr != nil {
+			fatal(terr)
+		}
+		cfg.Transport = tr
+		if rank != 0 && *verify {
+			fmt.Fprintf(os.Stderr, "twsim: rank %d: -verify compares full results and runs on rank 0 only; skipping\n", rank)
+			*verify = false
+		}
+	}
+
 	var tracer *gowarp.Tracer
 	if *traceFile != "" {
 		if *traceFormat != "jsonl" && *traceFormat != "chrome" {
@@ -313,6 +337,12 @@ func main() {
 		fmt.Printf("trace: %d events to %s (%s format, %d overwritten)\n",
 			len(tracer.Events()), *traceFile, *traceFormat, tracer.Dropped())
 	}
+	// On a distributed run only rank 0 holds the whole model's final states;
+	// other ranks report a zero hash rather than a misleading partial one.
+	var stateHash uint64
+	if rank == 0 {
+		stateHash = gowarp.HashStates(res.FinalStates)
+	}
 	if *jsonOut != "" {
 		flags := map[string]string{}
 		flag.VisitAll(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
@@ -320,6 +350,9 @@ func main() {
 		sum := gowarp.RunSummary{
 			Model:               m.Name,
 			Flags:               flags,
+			Transport:           tspec.Kind,
+			Rank:                rank,
+			Ranks:               ranks,
 			ElapsedSeconds:      res.Elapsed.Seconds(),
 			FinalGVT:            res.GVT.String(),
 			EventsPerSec:        res.EventRate(),
@@ -327,7 +360,7 @@ func main() {
 			HitRatio:            res.Stats.HitRatio(),
 			MeanRollbackLength:  res.Stats.MeanRollbackLength(),
 			WastedWorkRatio:     res.Stats.WastedWorkRatio(),
-			FinalStateHash:      gowarp.HashStates(res.FinalStates),
+			FinalStateHash:      stateHash,
 			Stats:               res.Stats,
 			PerLP:               res.PerLP,
 			PerObject:           res.PerObject,
@@ -344,8 +377,12 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Printf("%s: %d committed events in %s (%.0f ev/s), final GVT %s\n",
-		m.Name, res.Stats.EventsCommitted, res.Elapsed.Round(time.Millisecond),
+	prefix := ""
+	if ranks > 1 {
+		prefix = fmt.Sprintf("[rank %d/%d] ", rank, ranks)
+	}
+	fmt.Printf("%s%s: %d committed events in %s (%.0f ev/s), final GVT %s\n",
+		prefix, m.Name, res.Stats.EventsCommitted, res.Elapsed.Round(time.Millisecond),
 		res.EventRate(), res.GVT)
 	fmt.Print(res.Stats.Report())
 

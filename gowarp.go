@@ -259,6 +259,42 @@ const (
 	CalendarPendingSet = pq.Calendar
 )
 
+// Communication transports: the substrate carrying physical messages between
+// logical processes. The default (Config.Transport nil) is the in-process
+// transport — every LP a goroutine in this process, exactly the historical
+// behavior. A TCP transport makes this process one rank of a multi-process
+// run; see ParseTransportSpec for the command-line form.
+type (
+	// Transport is the communication substrate abstraction (see
+	// comm.Transport for the full Send/Recv/Peers/Start/Close contract).
+	Transport = comm.Transport
+	// TransportPeers describes a transport's process topology.
+	TransportPeers = comm.Peers
+	// TransportOption configures an in-process transport.
+	TransportOption = comm.Option
+	// TCPTransportConfig parameterizes NewTCPTransport.
+	TCPTransportConfig = comm.TCPConfig
+)
+
+// NewInProcTransport returns the in-process transport for numLPs logical
+// processes. Passing it as Config.Transport is equivalent to leaving the
+// field nil with matching cost model and inbox depth.
+func NewInProcTransport(numLPs int, opts ...TransportOption) Transport {
+	return comm.NewInProc(numLPs, opts...)
+}
+
+// WithTransportCost sets an in-process transport's simulated send-cost model.
+func WithTransportCost(c CostModel) TransportOption { return comm.WithCost(c) }
+
+// WithTransportInboxDepth sets an in-process transport's per-LP inbox
+// capacity.
+func WithTransportInboxDepth(d int) TransportOption { return comm.WithInboxDepth(d) }
+
+// NewTCPTransport returns a TCP transport for one rank of a multi-process
+// run. The kernel starts it (join handshake) and closes it (flush and drain)
+// around the run.
+func NewTCPTransport(cfg TCPTransportConfig) (Transport, error) { return comm.NewTCP(cfg) }
+
 // DefaultConfig returns the all-static baseline configuration of the paper's
 // experiments: periodic check-pointing, aggressive cancellation, no
 // aggregation.

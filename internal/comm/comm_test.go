@@ -16,11 +16,11 @@ func ev(id uint64, recv vtime.Time, payload int) *event.Event {
 	}
 }
 
-func twoLPs(cfg AggConfig) (*Network, *Endpoint, *Endpoint, *stats.Counters, *stats.Counters) {
-	n := NewNetwork(2, CostModel{}, 0)
+func twoLPs(cfg AggConfig) (*InProc, *Endpoint, *Endpoint, *stats.Counters, *stats.Counters) {
+	n := NewInProc(2)
 	var st0, st1 stats.Counters
-	e0 := n.NewEndpoint(0, cfg, &st0)
-	e1 := n.NewEndpoint(1, cfg, &st1)
+	e0 := NewEndpoint(n, 0, cfg, &st0)
+	e1 := NewEndpoint(n, 1, cfg, &st1)
 	return n, e0, e1, &st0, &st1
 }
 
@@ -29,7 +29,7 @@ func recvAll(t *testing.T, e *Endpoint) []*event.Event {
 	var out []*event.Event
 	for {
 		select {
-		case p := <-e.Inbox():
+		case p := <-e.Recv():
 			if p.Kind != PktEvents {
 				t.Fatalf("unexpected packet kind %d", p.Kind)
 			}
@@ -157,7 +157,7 @@ func TestGVTColorAccounting(t *testing.T) {
 		t.Fatalf("sender counts = (%d,%d)", s, r)
 	}
 	for range [2]int{} {
-		p := <-e1.Inbox()
+		p := <-e1.Recv()
 		if _, err := e1.DecodeEvents(p); err != nil {
 			t.Fatal(err)
 		}
@@ -189,7 +189,7 @@ func TestFlipColorFlushesBuffers(t *testing.T) {
 	_, e0, e1, _, _ := twoLPs(cfg)
 	e0.Send(ev(1, 10, 4), 1, false)
 	e0.FlipColor(1)
-	p := <-e1.Inbox()
+	p := <-e1.Recv()
 	if p.Color != 0 {
 		t.Errorf("flushed packet color = %d, want pre-flip color 0", p.Color)
 	}
@@ -199,32 +199,32 @@ func TestFlipColorFlushesBuffers(t *testing.T) {
 }
 
 func TestControlPackets(t *testing.T) {
-	n := NewNetwork(3, CostModel{}, 0)
+	n := NewInProc(3)
 	var st [3]stats.Counters
 	eps := make([]*Endpoint, 3)
 	for i := range eps {
-		eps[i] = n.NewEndpoint(i, AggConfig{}, &st[i])
+		eps[i] = NewEndpoint(n, i, AggConfig{}, &st[i])
 	}
 	tok := Token{M: 100, MMsg: vtime.PosInf, Count: 3, Epoch: 1}
 	eps[0].SendToken(1, tok)
-	p := <-eps[1].Inbox()
+	p := <-eps[1].Recv()
 	if p.Kind != PktToken || p.Token != tok {
 		t.Fatalf("token mangled: %+v", p)
 	}
 	eps[0].BroadcastGVT(77)
 	eps[0].BroadcastStop()
 	for i := 1; i < 3; i++ {
-		g := <-eps[i].Inbox()
+		g := <-eps[i].Recv()
 		if g.Kind != PktGVT || g.GVT != 77 {
 			t.Fatalf("GVT broadcast mangled: %+v", g)
 		}
-		s := <-eps[i].Inbox()
+		s := <-eps[i].Recv()
 		if s.Kind != PktStop {
 			t.Fatalf("stop broadcast mangled: %+v", s)
 		}
 	}
 	select {
-	case p := <-eps[0].Inbox():
+	case p := <-eps[0].Recv():
 		t.Fatalf("broadcast delivered to self: %+v", p)
 	default:
 	}
@@ -281,13 +281,13 @@ func TestPolicyStrings(t *testing.T) {
 }
 
 func TestNullPackets(t *testing.T) {
-	n := NewNetwork(2, CostModel{}, 0)
+	n := NewInProc(2)
 	var st [2]stats.Counters
-	e0 := n.NewEndpoint(0, AggConfig{}, &st[0])
-	e1 := n.NewEndpoint(1, AggConfig{}, &st[1])
+	e0 := NewEndpoint(n, 0, AggConfig{}, &st[0])
+	e1 := NewEndpoint(n, 1, AggConfig{}, &st[1])
 	_ = e0
 	e1.SendNull(0, 123)
-	p := <-e0.Inbox()
+	p := <-e0.Recv()
 	if p.Kind != PktNull || p.Bound != 123 || p.From != 1 {
 		t.Fatalf("null packet mangled: %+v", p)
 	}

@@ -8,12 +8,13 @@ import (
 	"gowarp/internal/vtime"
 )
 
-// Endpoint is one logical process's attachment to the network. It owns the
+// Endpoint is one logical process's attachment to the transport. It owns the
 // per-destination aggregation buffers and the GVT message-color accounting.
 // All methods must be called from the owning LP goroutine only.
 type Endpoint struct {
 	lp  int
-	net *Network
+	tr  Transport
+	n   int // total LPs across every rank
 	cfg AggConfig
 	st  *stats.Counters
 
@@ -90,16 +91,17 @@ func (e *Endpoint) recycleWire(b []byte) {
 // op headers would eat the gain.
 const minWireCompress = 64
 
-// NewEndpoint attaches lp to the network with the given aggregation
-// configuration, accounting into st.
-func (n *Network) NewEndpoint(lp int, cfg AggConfig, st *stats.Counters) *Endpoint {
+// NewEndpoint attaches lp to the transport with the given aggregation
+// configuration, accounting into st. lp must be hosted in this process.
+func NewEndpoint(tr Transport, lp int, cfg AggConfig, st *stats.Counters) *Endpoint {
 	cfg = cfg.withDefaults()
 	e := &Endpoint{
 		lp:   lp,
-		net:  n,
+		tr:   tr,
+		n:    tr.Peers().NumLPs,
 		cfg:  cfg,
 		st:   st,
-		bufs: make([]aggBuffer, n.NumLPs()),
+		bufs: make([]aggBuffer, tr.Peers().NumLPs),
 		tmin: vtime.PosInf,
 	}
 	for i := range e.bufs {
@@ -108,8 +110,10 @@ func (n *Network) NewEndpoint(lp int, cfg AggConfig, st *stats.Counters) *Endpoi
 	return e
 }
 
-// Inbox returns this LP's receive channel.
-func (e *Endpoint) Inbox() <-chan Packet { return e.net.Inbox(e.lp) }
+// Recv returns this LP's receive stream. Callers must route every events
+// packet through DecodeEvents so the GVT color accounting stays balanced;
+// there is no raw inbox accessor anymore.
+func (e *Endpoint) Recv() <-chan Packet { return e.tr.Recv(e.lp) }
 
 // Color returns the LP's current GVT color.
 func (e *Endpoint) Color() uint8 { return e.color }
@@ -242,7 +246,7 @@ func (e *Endpoint) flush(dst int, cause FlushCause) {
 		e.TraceFlush(dst, cause, count, len(payload))
 	}
 
-	e.net.deliver(dst, Packet{
+	e.tr.Send(dst, Packet{
 		Kind:    PktEvents,
 		From:    e.lp,
 		Color:   b.color,
@@ -339,7 +343,7 @@ func (e *Endpoint) DecodeEvents(p Packet) ([]*event.Event, error) {
 // capsule. A control message: no GVT accounting (it carries no events), and
 // the owner silently skips any object that has since moved on.
 func (e *Endpoint) SendMigrateReq(dst int, objs []int32, to int) {
-	e.net.deliver(dst, Packet{Kind: PktMigrateReq, From: e.lp, Objects: objs, Dst: to}, controlBytes)
+	e.tr.Send(dst, Packet{Kind: PktMigrateReq, From: e.lp, Objects: objs, Dst: to}, controlBytes)
 }
 
 // SendMigration ships a packed object to dst. minTime is the capsule's
@@ -353,7 +357,7 @@ func (e *Endpoint) SendMigrateReq(dst int, objs []int32, to int) {
 func (e *Endpoint) SendMigration(dst int, capsule any, minTime vtime.Time, approxBytes int) {
 	e.sent[e.color]++
 	e.tmin = vtime.Min(e.tmin, minTime)
-	e.net.deliver(dst, Packet{Kind: PktMigrate, From: e.lp, Color: e.color, Capsule: capsule}, approxBytes)
+	e.tr.Send(dst, Packet{Kind: PktMigrate, From: e.lp, Color: e.color, Capsule: capsule}, approxBytes)
 }
 
 // ReceiveMigration books the arrival of a migration capsule under the color
@@ -367,12 +371,12 @@ func (e *Endpoint) ReceiveMigration(p Packet) {
 
 // SendNull sends a CMB null message promising no event below bound.
 func (e *Endpoint) SendNull(dst int, bound vtime.Time) {
-	e.net.deliver(dst, Packet{Kind: PktNull, From: e.lp, Bound: bound}, controlBytes)
+	e.tr.Send(dst, Packet{Kind: PktNull, From: e.lp, Bound: bound}, controlBytes)
 }
 
 // SendToken forwards the GVT token to dst.
 func (e *Endpoint) SendToken(dst int, t Token) {
-	e.net.deliver(dst, Packet{Kind: PktToken, From: e.lp, Token: t}, controlBytes)
+	e.tr.Send(dst, Packet{Kind: PktToken, From: e.lp, Token: t}, controlBytes)
 }
 
 // BroadcastGVT announces a new GVT value to every other LP.
@@ -381,7 +385,7 @@ func (e *Endpoint) BroadcastGVT(gvt vtime.Time) {
 		if dst == e.lp {
 			continue
 		}
-		e.net.deliver(dst, Packet{Kind: PktGVT, From: e.lp, GVT: gvt}, controlBytes)
+		e.tr.Send(dst, Packet{Kind: PktGVT, From: e.lp, GVT: gvt}, controlBytes)
 	}
 }
 
@@ -392,7 +396,7 @@ func (e *Endpoint) BroadcastOptim() {
 		if dst == e.lp {
 			continue
 		}
-		e.net.deliver(dst, Packet{Kind: PktOptim, From: e.lp}, controlBytes)
+		e.tr.Send(dst, Packet{Kind: PktOptim, From: e.lp}, controlBytes)
 	}
 }
 
@@ -402,6 +406,6 @@ func (e *Endpoint) BroadcastStop() {
 		if dst == e.lp {
 			continue
 		}
-		e.net.deliver(dst, Packet{Kind: PktStop, From: e.lp}, controlBytes)
+		e.tr.Send(dst, Packet{Kind: PktStop, From: e.lp}, controlBytes)
 	}
 }

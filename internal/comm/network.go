@@ -34,6 +34,10 @@ const (
 	// horizon, which would otherwise sleep a full idle tick before noticing
 	// a relaxed window.
 	PktOptim
+	// PktReport carries a rank's end-of-run report (marshaled final states
+	// and counters) to the coordinator of a distributed run. It flows only
+	// after every LP has terminated, so it needs no GVT accounting.
+	PktReport
 )
 
 // Token is the Mattern-style GVT token (see internal/gvt for the protocol).
@@ -58,7 +62,7 @@ type Token struct {
 // Packet is one physical message on the simulated network.
 type Packet struct {
 	Kind PacketKind
-	From int // sending LP
+	From int // sending LP (or sending rank for PktReport)
 	// Color is the GVT color the events in Payload were sent under
 	// (PktEvents only; uniform within one packet by construction).
 	Color uint8
@@ -78,8 +82,9 @@ type Packet struct {
 	Dst     int
 	// Capsule is a PktMigrate payload: the packed object, opaque to this
 	// layer (the kernel defines the concrete type). It rides as a pointer
-	// because the substrate is in-process; the ownership contract is still
-	// message-passing — the sender never touches it after deliver.
+	// because migration requires the in-process substrate; the ownership
+	// contract is still message-passing — the sender never touches it after
+	// deliver. Capsules cannot cross a process boundary (see wire.go).
 	Capsule any
 }
 
@@ -87,37 +92,76 @@ type Packet struct {
 // model.
 const controlBytes = 32
 
-// Network connects n logical processes with buffered inboxes and a shared
-// cost model. It is created once per simulation run; endpoints are handed to
-// the LP goroutines.
-type Network struct {
-	cost    CostModel
-	inboxes []chan Packet
+// Option configures an in-process transport (see NewInProc).
+type Option func(*inprocOptions)
+
+type inprocOptions struct {
+	cost       CostModel
+	inboxDepth int
 }
 
-// NewNetwork returns a network for n LPs with the given per-inbox depth
-// (minimum 1024).
-func NewNetwork(n int, cost CostModel, inboxDepth int) *Network {
-	if inboxDepth < 1024 {
-		inboxDepth = 1024
+// WithCost sets the simulated communication cost model charged on every
+// Send. The zero model (the default) charges nothing.
+func WithCost(c CostModel) Option {
+	return func(o *inprocOptions) { o.cost = c }
+}
+
+// WithInboxDepth sets the per-LP inbox channel capacity (minimum and
+// default 1024).
+func WithInboxDepth(d int) Option {
+	return func(o *inprocOptions) { o.inboxDepth = d }
+}
+
+// InProc is the in-process Transport: it connects n logical processes living
+// in this OS process with buffered channel inboxes and a shared simulated
+// cost model. It is created once per simulation run; endpoints are handed to
+// the LP goroutines. The zero-cost, default-depth form is NewInProc(n).
+type InProc struct {
+	cost    CostModel
+	inboxes []chan Packet
+	local   []int
+}
+
+// NewInProc returns an in-process transport for n LPs.
+func NewInProc(n int, opts ...Option) *InProc {
+	o := inprocOptions{inboxDepth: 1024}
+	for _, opt := range opts {
+		opt(&o)
 	}
-	nw := &Network{cost: cost, inboxes: make([]chan Packet, n)}
+	if o.inboxDepth < 1024 {
+		o.inboxDepth = 1024
+	}
+	nw := &InProc{cost: o.cost, inboxes: make([]chan Packet, n), local: make([]int, n)}
 	for i := range nw.inboxes {
-		nw.inboxes[i] = make(chan Packet, inboxDepth)
+		nw.inboxes[i] = make(chan Packet, o.inboxDepth)
+		nw.local[i] = i
 	}
 	return nw
 }
 
 // NumLPs returns the number of connected logical processes.
-func (n *Network) NumLPs() int { return len(n.inboxes) }
+func (n *InProc) NumLPs() int { return len(n.inboxes) }
 
-// Inbox returns lp's receive channel.
-func (n *Network) Inbox(lp int) <-chan Packet { return n.inboxes[lp] }
+// Peers implements Transport: every LP is local, one rank.
+func (n *InProc) Peers() Peers {
+	return Peers{NumLPs: len(n.inboxes), Local: n.local, Rank: 0, NumRanks: 1}
+}
 
-// deliver charges the sending cost and enqueues the packet. The charge is
+// Recv returns lp's receive stream.
+func (n *InProc) Recv(lp int) <-chan Packet { return n.inboxes[lp] }
+
+// Start implements the handshake contract; in-process there is nothing to
+// join.
+func (n *InProc) Start() error { return nil }
+
+// Close implements the flush contract; channel delivery is synchronous with
+// Send, so there is nothing to drain.
+func (n *InProc) Close() error { return nil }
+
+// Send charges the sending cost and enqueues the packet. The charge is
 // burned on the calling goroutine — the sender pays, as in the modelled
 // protocol stacks.
-func (n *Network) deliver(to int, p Packet, payloadBytes int) {
+func (n *InProc) Send(dst int, p Packet, payloadBytes int) {
 	n.cost.Charge(payloadBytes)
-	n.inboxes[to] <- p
+	n.inboxes[dst] <- p
 }

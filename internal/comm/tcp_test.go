@@ -1,0 +1,255 @@
+package comm
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tcpPair builds a started 2-rank TCP mesh over loopback with numLPs LPs.
+// Pre-binding the listeners on port 0 gives both ranks real addresses before
+// either transport starts, so tests never race on port choice.
+func tcpPair(t *testing.T, numLPs int) (*TCP, *TCP) {
+	t.Helper()
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+	mk := func(rank int, ln net.Listener) *TCP {
+		tr, err := NewTCP(TCPConfig{
+			Rank: rank, Addrs: addrs, NumLPs: numLPs,
+			DialTimeout: 5 * time.Second, DrainTimeout: 5 * time.Second,
+			Listener: ln,
+		})
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+		return tr
+	}
+	t0, t1 := mk(0, ln0), mk(1, ln1)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, tr := range []*TCP{t0, t1} {
+		wg.Add(1)
+		go func(i int, tr *TCP) { defer wg.Done(); errs[i] = tr.Start() }(i, tr)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d start: %v", i, err)
+		}
+	}
+	return t0, t1
+}
+
+// closePair closes both ends concurrently, the way two live ranks do — the
+// drain in Close waits for the peer's FIN, so sequential closes would stall
+// a full drain timeout.
+func closePair(t *testing.T, trs ...*TCP) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, tr := range trs {
+		wg.Add(1)
+		go func(tr *TCP) {
+			defer wg.Done()
+			if err := tr.Close(); err != nil {
+				t.Errorf("close rank %d: %v", tr.Peers().Rank, err)
+			}
+		}(tr)
+	}
+	wg.Wait()
+}
+
+func TestTCPPeersTopology(t *testing.T) {
+	t0, t1 := tcpPair(t, 5)
+	defer closePair(t, t0, t1)
+	p0, p1 := t0.Peers(), t1.Peers()
+	if !p0.Distributed() || !p1.Distributed() {
+		t.Fatal("2-rank mesh not Distributed")
+	}
+	if p0.NumLPs != 5 || p1.NumLPs != 5 || p0.NumRanks != 2 || p1.NumRanks != 2 {
+		t.Fatalf("topology: %+v / %+v", p0, p1)
+	}
+	// Block assignment of 5 LPs over 2 ranks: [0,1] and [2,3,4].
+	want0, want1 := []int{0, 1}, []int{2, 3, 4}
+	for i, lp := range want0 {
+		if p0.Local[i] != lp || !p0.IsLocal(lp) || p1.IsLocal(lp) {
+			t.Fatalf("LP %d placement wrong: %v / %v", lp, p0.Local, p1.Local)
+		}
+	}
+	for i, lp := range want1 {
+		if p1.Local[i] != lp || !p1.IsLocal(lp) || p0.IsLocal(lp) {
+			t.Fatalf("LP %d placement wrong: %v / %v", lp, p0.Local, p1.Local)
+		}
+	}
+	for lp := 0; lp < 5; lp++ {
+		want := 0
+		if lp >= 2 {
+			want = 1
+		}
+		if got := RankOf(lp, 5, 2); got != want {
+			t.Fatalf("RankOf(%d) = %d, want %d", lp, got, want)
+		}
+	}
+}
+
+// TestTCPSendRecv drives packets both directions — remote (framed over the
+// socket) and local (short-circuited) — and checks payload fidelity and
+// per-sender FIFO order.
+func TestTCPSendRecv(t *testing.T) {
+	t0, t1 := tcpPair(t, 4) // rank 0: LPs 0,1; rank 1: LPs 2,3
+	defer closePair(t, t0, t1)
+
+	// Remote: rank 0's LP 0 -> LP 2, in order.
+	for i := 0; i < 10; i++ {
+		t0.Send(2, Packet{Kind: PktEvents, From: 0, Count: i, Payload: []byte{byte(i)}}, 1)
+	}
+	for i := 0; i < 10; i++ {
+		select {
+		case p := <-t1.Recv(2):
+			if p.Kind != PktEvents || p.From != 0 || p.Count != i || !bytes.Equal(p.Payload, []byte{byte(i)}) {
+				t.Fatalf("packet %d arrived as %+v", i, p)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("packet %d never arrived", i)
+		}
+	}
+
+	// Remote the other way, a control packet.
+	t1.Send(1, Packet{Kind: PktToken, From: 3, Token: Token{M: 7, Count: -1, Epoch: 3}}, 0)
+	select {
+	case p := <-t0.Recv(1):
+		if p.Kind != PktToken || p.Token.M != 7 || p.Token.Count != -1 || p.Token.Epoch != 3 {
+			t.Fatalf("token arrived as %+v", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("token never arrived")
+	}
+
+	// Local short circuit (never touches the socket, so a capsule-style any
+	// payload survives).
+	marker := &struct{ x int }{42}
+	t0.Send(1, Packet{Kind: PktMigrate, From: 0, Capsule: marker}, 0)
+	if p := <-t0.Recv(1); p.Capsule != marker {
+		t.Fatal("local send did not preserve pointer payload")
+	}
+}
+
+func TestTCPRecvNonLocalPanics(t *testing.T) {
+	t0, t1 := tcpPair(t, 4)
+	defer closePair(t, t0, t1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Recv of a non-local LP did not panic")
+		}
+	}()
+	t0.Recv(3)
+}
+
+// TestTCPCloseDrains: packets sent just before Close must be readable on the
+// far side after both sides closed — Close half-closes and drains rather
+// than tearing the link down.
+func TestTCPCloseDrains(t *testing.T) {
+	t0, t1 := tcpPair(t, 2)
+	for i := 0; i < 100; i++ {
+		t0.Send(1, Packet{Kind: PktEvents, From: 0, Count: i}, 0)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); t0.Close() }()
+	go func() { defer wg.Done(); t1.Close() }()
+	wg.Wait()
+	for i := 0; i < 100; i++ {
+		select {
+		case p := <-t1.Recv(1):
+			if p.Count != i {
+				t.Fatalf("packet %d arrived as Count=%d", i, p.Count)
+			}
+		default:
+			t.Fatalf("packet %d lost across Close", i)
+		}
+	}
+	if err := t0.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestTCPTopologyMismatch: a fleet whose ranks disagree on the LP count must
+// fail the join handshake, not limp into a torn run.
+func TestTCPTopologyMismatch(t *testing.T) {
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+	mk := func(rank, numLPs int, ln net.Listener) *TCP {
+		tr, err := NewTCP(TCPConfig{
+			Rank: rank, Addrs: addrs, NumLPs: numLPs,
+			DialTimeout: 5 * time.Second, Listener: ln,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	t0, t1 := mk(0, 4, ln0), mk(1, 6, ln1)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, tr := range []*TCP{t0, t1} {
+		wg.Add(1)
+		go func(i int, tr *TCP) { defer wg.Done(); errs[i] = tr.Start() }(i, tr)
+	}
+	wg.Wait()
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatal("mismatched topologies joined successfully")
+	}
+}
+
+func TestTCPConfigValidation(t *testing.T) {
+	if _, err := NewTCP(TCPConfig{Rank: 0, Addrs: nil, NumLPs: 4}); err == nil {
+		t.Error("no addrs accepted")
+	}
+	if _, err := NewTCP(TCPConfig{Rank: 2, Addrs: []string{"a", "b"}, NumLPs: 4}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := NewTCP(TCPConfig{Rank: 0, Addrs: []string{"a", "b", "c"}, NumLPs: 2}); err == nil {
+		t.Error("more ranks than LPs accepted")
+	}
+}
+
+func TestBlockRanksCoverage(t *testing.T) {
+	for _, tc := range []struct{ n, r int }{{4, 2}, {5, 2}, {7, 3}, {3, 3}, {16, 4}, {1, 1}} {
+		seen := make([]bool, tc.n)
+		for r := 0; r < tc.r; r++ {
+			lps := BlockRanks(tc.n, tc.r, r)
+			if len(lps) == 0 {
+				t.Errorf("n=%d ranks=%d: rank %d hosts nothing", tc.n, tc.r, r)
+			}
+			for _, lp := range lps {
+				if seen[lp] {
+					t.Errorf("n=%d ranks=%d: LP %d hosted twice", tc.n, tc.r, lp)
+				}
+				seen[lp] = true
+				if RankOf(lp, tc.n, tc.r) != r {
+					t.Errorf("n=%d ranks=%d: RankOf(%d) != %d", tc.n, tc.r, lp, r)
+				}
+			}
+		}
+		for lp, s := range seen {
+			if !s {
+				t.Errorf("n=%d ranks=%d: LP %d unhosted", tc.n, tc.r, lp)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package comm
+
+// Transport is the communication substrate abstraction: it delivers physical
+// messages (Packets) between logical processes, which may live in this OS
+// process (InProc, the default) or be spread across several processes on one
+// or more machines (TCP). The kernel core, the GVT manager, the migration
+// protocol and the router all talk to this interface; none of them know
+// whether a destination LP is a goroutine next door or a socket away.
+//
+// The contract:
+//
+//   - Send delivers p to LP dst, charging the sender whatever the transport's
+//     cost model says an n-payload-byte physical message costs. Sends to a
+//     given destination from a given goroutine are FIFO — the kernel's
+//     migration and cancellation protocols rely on per-sender ordering.
+//     Send may be called concurrently from different LP goroutines.
+//   - Recv returns the receive stream of a locally hosted LP. The channel is
+//     owned by the transport and stays open for the transport's lifetime;
+//     requesting a non-local LP's stream is a programming error (panic).
+//   - Peers describes the topology: how many LPs exist in total, which of
+//     them are hosted in this process, and this process's rank.
+//   - Start performs the join handshake: it blocks until every peer process
+//     is connected and agrees on the topology (LP count, rank count, wire
+//     version). In-process transports return immediately. No Send or Recv
+//     traffic may flow before Start returns.
+//   - Close is the flush/shutdown contract: it flushes any pending wire
+//     writes, signals peers that this process is done sending, drains inbound
+//     traffic until the peers have done the same (bounded by a drain
+//     timeout), and releases sockets. Close is idempotent; it returns the
+//     first transport-level error observed during the run, so a run that
+//     completed over a corrupt or torn-down link does not pass silently.
+type Transport interface {
+	Send(dst int, p Packet, payloadBytes int)
+	Recv(lp int) <-chan Packet
+	Peers() Peers
+	Start() error
+	Close() error
+}
+
+// Peers describes a transport's process topology.
+type Peers struct {
+	// NumLPs is the total number of logical processes across every rank.
+	NumLPs int
+	// Local lists the LP indices hosted in this process, in ascending order.
+	Local []int
+	// Rank is this process's rank (0 for in-process transports). Rank 0 is
+	// the coordinator: it hosts LP 0, initiates GVT, and gathers the final
+	// results of a distributed run.
+	Rank int
+	// NumRanks is the total number of processes (1 for in-process).
+	NumRanks int
+}
+
+// Distributed reports whether the topology spans more than one OS process.
+func (p Peers) Distributed() bool { return p.NumRanks > 1 }
+
+// IsLocal reports whether lp is hosted in this process.
+func (p Peers) IsLocal(lp int) bool {
+	for _, l := range p.Local {
+		if l == lp {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockRanks maps LPs onto ranks in contiguous blocks: rank r of numRanks
+// hosts LPs [r*numLPs/numRanks, (r+1)*numLPs/numRanks). Every rank gets at
+// least one LP when numRanks <= numLPs. This is the assignment the TCP
+// transport uses, and every rank of a distributed run must agree on it.
+func BlockRanks(numLPs, numRanks, rank int) []int {
+	lo := rank * numLPs / numRanks
+	hi := (rank + 1) * numLPs / numRanks
+	lps := make([]int, 0, hi-lo)
+	for lp := lo; lp < hi; lp++ {
+		lps = append(lps, lp)
+	}
+	return lps
+}
+
+// RankOf inverts BlockRanks: the rank hosting lp under a block assignment.
+func RankOf(lp, numLPs, numRanks int) int {
+	// With hi = (r+1)*n/R exclusive, lp belongs to the largest r with
+	// r*n/R <= lp, which is floor((lp*R + R - 1) / n) ... computed directly:
+	r := (lp*numRanks + numRanks - 1) / numLPs
+	for r > 0 && lp < r*numLPs/numRanks {
+		r--
+	}
+	for r+1 < numRanks && lp >= (r+1)*numLPs/numRanks {
+		r++
+	}
+	return r
+}

@@ -306,7 +306,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("conservative: non-positive lookahead %s (CMB requires lookahead for deadlock freedom)", cfg.Lookahead)
 	}
 	numLPs := m.NumLPs()
-	net := comm.NewNetwork(numLPs, cfg.Cost, cfg.InboxDepth)
+	net := comm.NewInProc(numLPs, comm.WithCost(cfg.Cost), comm.WithInboxDepth(cfg.InboxDepth))
 
 	lps := make([]*lpState, numLPs)
 	for i := range lps {
@@ -315,7 +315,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 			cfg:       &cfg,
 			lpOf:      m.Partition,
 			objs:      make(map[event.ObjectID]*objState),
-			inbox:     net.Inbox(i),
+			inbox:     net.Recv(i),
 			numLPs:    numLPs,
 			pending:   pq.NewHeapSet(),
 			chanClock: make([]vtime.Time, numLPs),
@@ -325,7 +325,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		for j := range lp.lastNull {
 			lp.lastNull[j] = vtime.NegInf
 		}
-		lp.ep = net.NewEndpoint(i, comm.AggConfig{Policy: comm.NoAggregation}, &lp.st)
+		lp.ep = comm.NewEndpoint(net, i, comm.AggConfig{Policy: comm.NoAggregation}, &lp.st)
 		lps[i] = lp
 	}
 	for id, obj := range m.Objects {

@@ -14,6 +14,9 @@ import (
 func drainInboxes(lps []*lpRun) [][]comm.Packet {
 	out := make([][]comm.Packet, len(lps))
 	for i, lp := range lps {
+		if lp == nil {
+			continue // hosted by another rank
+		}
 	drain:
 		for {
 			select {

@@ -41,6 +41,16 @@ type Config struct {
 	// Cost is the simulated communication cost model.
 	Cost comm.CostModel
 
+	// Transport is the communication substrate. Nil selects the in-process
+	// transport (comm.NewInProc with Cost and InboxDepth), which is the
+	// pre-transport-API behavior exactly. A distributed transport (comm.TCP)
+	// makes this process one rank of a multi-process run: the kernel hosts
+	// only the transport's local LPs, and rank 0 gathers every rank's final
+	// states and counters so its Result matches a single-process run. Run
+	// owns the lifecycle: it calls Start before launching LPs and Close
+	// after the run, so pass a freshly constructed, unstarted transport.
+	Transport comm.Transport
+
 	// EventCost is the CPU burn charged per event execution, standing in
 	// for the paper's event-handler granularity. Zero means no burn.
 	EventCost time.Duration

@@ -118,6 +118,13 @@ type lpRun struct {
 	// opt is the adaptive optimism controller (LP 0 only; nil unless
 	// Config.Optimism selects the adaptive mode).
 	opt *optController
+
+	// reports stashes end-of-run rank reports (PktReport) that reach LP 0 of
+	// a distributed run's coordinator while it is still in its loop. By
+	// protocol that cannot happen — remote ranks report only after receiving
+	// the stop broadcast this LP sent before it stopped — but stashing is
+	// cheaper than being wrong about that.
+	reports []comm.Packet
 }
 
 // refresh re-keys o in the schedule heap after its pending set changed.
@@ -272,6 +279,8 @@ func (lp *lpRun) handlePacket(p comm.Packet) {
 		// atomic slot, so the payload is the arrival itself — it broke the
 		// idle() select of an LP blocked at the old horizon, and the run
 		// loop re-reads horizon() on its next iteration.
+	case comm.PktReport:
+		lp.reports = append(lp.reports, p)
 	case comm.PktStop:
 		lp.running = false
 	}

@@ -44,6 +44,23 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		cfg.Observe = observe.NewSampler(0)
 	}
 
+	tr := cfg.Transport
+	if tr == nil {
+		tr = comm.NewInProc(numLPs, comm.WithCost(cfg.Cost), comm.WithInboxDepth(cfg.InboxDepth))
+	}
+	peers := tr.Peers()
+	if peers.NumLPs != numLPs {
+		return nil, fmt.Errorf("core: transport connects %d LPs but the model partitions onto %d", peers.NumLPs, numLPs)
+	}
+	if len(peers.Local) == 0 {
+		return nil, fmt.Errorf("core: rank %d hosts no LPs", peers.Rank)
+	}
+	if peers.Distributed() {
+		if err := checkDistributed(m, &cfg); err != nil {
+			return nil, err
+		}
+	}
+
 	sh := &shared{
 		rt:   route.New(m.Partition),
 		objs: make([]*simObject, len(m.Objects)),
@@ -71,14 +88,21 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		cfg.Observe.BindMetrics(cfg.Metrics)
 	}
 
-	net := comm.NewNetwork(numLPs, cfg.Cost, cfg.InboxDepth)
+	if err := tr.Start(); err != nil {
+		return nil, fmt.Errorf("core: transport start: %w", err)
+	}
+	defer tr.Close() // idempotent; the success path closes explicitly below
+
+	// lps stays indexed by global LP id (nil for LPs hosted by other ranks);
+	// locals lists the ones this process runs.
 	lps := make([]*lpRun, numLPs)
-	for i := range lps {
+	locals := make([]*lpRun, 0, len(peers.Local))
+	for _, i := range peers.Local {
 		lp := &lpRun{
 			id:       i,
 			cfg:      &cfg,
 			k:        sh,
-			inbox:    net.Inbox(i),
+			inbox:    tr.Recv(i),
 			running:  true,
 			idleTick: cfg.GVTPeriod / 4,
 			numLPs:   numLPs,
@@ -103,7 +127,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		if cfg.Optimism.Adaptive() && i == 0 {
 			lp.opt = newOptController(cfg.Optimism)
 		}
-		lp.ep = net.NewEndpoint(i, cfg.Aggregation, &lp.st)
+		lp.ep = comm.NewEndpoint(tr, i, cfg.Aggregation, &lp.st)
 		lp.ep.Pool = lp.pool
 		if cfg.Codec.CompressWire() {
 			lp.ep.Compress = codec.Compress
@@ -125,10 +149,14 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 			lp.gvtMgr.Audit = au.GVTRound
 		}
 		lps[i] = lp
+		locals = append(locals, lp)
 	}
 
 	for id, obj := range m.Objects {
 		lp := lps[m.Partition[id]]
+		if lp == nil {
+			continue // hosted by another rank; sh.objs keeps a nil slot
+		}
 		o := &simObject{
 			id:      event.ObjectID(id),
 			slot:    len(lp.objs),
@@ -147,7 +175,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		lp.objs = append(lp.objs, o)
 		lp.local[id] = o
 	}
-	for _, lp := range lps {
+	for _, lp := range locals {
 		lp.sched = pq.NewScheduleHeap(len(lp.objs))
 	}
 	// Start the sampling goroutine for the LPs' lifetime; the deferred Stop
@@ -158,7 +186,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 
 	var wg sync.WaitGroup
 	panics := make([]interface{}, numLPs)
-	for _, lp := range lps {
+	for _, lp := range locals {
 		wg.Add(1)
 		go func(lp *lpRun) {
 			defer wg.Done()
@@ -193,7 +221,7 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 				continue
 			}
 			c := p.Capsule.(*capsule)
-			lp := lps[i]
+			lp := lps[i] // capsules exist only in-process, so lps[i] is local
 			for j := range c.items {
 				o := c.items[j].o
 				if enc := c.items[j].stateEnc; enc != nil {
@@ -231,38 +259,61 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 	}
 	res := &Result{
 		PerLP:               make([]stats.Counters, numLPs),
-		PerObject:           make([]stats.PerObject, 0, len(sh.objs)),
-		GVT:                 lps[0].gvtMgr.GVT(),
+		PerObject:           make([]stats.PerObject, len(sh.objs)),
+		GVT:                 locals[0].gvtMgr.GVT(),
 		Elapsed:             elapsed,
 		FinalStates:         make([]model.State, len(sh.objs)),
 		FinalPartition:      sh.rt.Assignment(),
 		FinalOptimismWindow: finalWindow,
 	}
 	for _, o := range sh.objs {
+		if o == nil {
+			continue // hosted by another rank
+		}
 		o.commitRemaining()
 	}
-	for i, lp := range lps {
+	for _, lp := range locals {
 		for _, o := range lp.objs {
 			lp.st.CheckpointAdjustments += o.ckpt.Adjustments
 		}
 		lp.st.EventPoolAllocs, lp.st.EventPoolReuses = lp.pool.Stats()
-		res.PerLP[i] = lp.st
+		res.PerLP[lp.id] = lp.st
 		res.Stats.Merge(&lp.st)
 	}
 	if cfg.Timeline {
-		for _, lp := range lps {
+		for _, lp := range locals {
 			res.Timeline = append(res.Timeline, LPTimeline{LP: lp.id, Samples: lp.timeline})
 		}
 	}
 	for _, o := range sh.objs {
+		if o == nil {
+			continue
+		}
 		res.FinalStates[o.id] = o.state
-		res.PerObject = append(res.PerObject, stats.PerObject{
+		res.PerObject[o.id] = stats.PerObject{
 			Name:               o.obj.Name(),
 			Rollbacks:          o.rollbacks,
 			HitRatio:           o.out.Selector().HitRatio(),
 			FinalStrategy:      o.out.Selector().Current().String(),
 			FinalCheckpointInt: o.ckpt.Interval(),
-		})
+		}
+	}
+
+	// On a distributed run, every rank ships its slice of the results to
+	// rank 0, whose Result then covers the whole model — identical to what a
+	// single-process run with the same seed produces. Other ranks return a
+	// partial Result (their local LPs and objects only).
+	if peers.Distributed() {
+		if peers.Rank == 0 {
+			if err := gatherReports(tr, m, res, leftovers[0], lps[0].reports); err != nil {
+				return nil, err
+			}
+		} else if err := sendReport(tr, peers.Rank, locals, res); err != nil {
+			return nil, err
+		}
+	}
+	if cerr := tr.Close(); cerr != nil {
+		return nil, fmt.Errorf("core: transport: %w", cerr)
 	}
 	return res, nil
 }

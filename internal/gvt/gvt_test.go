@@ -13,17 +13,17 @@ import (
 // ring builds n LPs with endpoints and managers on a zero-cost network.
 type ring struct {
 	n    int
-	net  *comm.Network
+	net  *comm.InProc
 	eps  []*comm.Endpoint
 	mgrs []*Manager
 	st   []stats.Counters
 }
 
 func newRing(n int) *ring {
-	r := &ring{n: n, net: comm.NewNetwork(n, comm.CostModel{}, 0)}
+	r := &ring{n: n, net: comm.NewInProc(n)}
 	r.st = make([]stats.Counters, n)
 	for i := 0; i < n; i++ {
-		r.eps = append(r.eps, r.net.NewEndpoint(i, comm.AggConfig{}, &r.st[i]))
+		r.eps = append(r.eps, comm.NewEndpoint(r.net, i, comm.AggConfig{}, &r.st[i]))
 	}
 	for i := 0; i < n; i++ {
 		r.mgrs = append(r.mgrs, NewManager(i, n, r.eps[i], time.Nanosecond, &r.st[i]))
@@ -40,7 +40,7 @@ func (r *ring) pump(t *testing.T, localMin func(lp int) vtime.Time) (vtime.Time,
 		progress := false
 		for i := 0; i < r.n; i++ {
 			select {
-			case p := <-r.eps[i].Inbox():
+			case p := <-r.eps[i].Recv():
 				progress = true
 				switch p.Kind {
 				case comm.PktToken:
@@ -130,7 +130,7 @@ func TestRedMessageMinimumRespected(t *testing.T) {
 	var tok comm.Packet
 	var white comm.Packet
 	for i := 0; i < 2; i++ {
-		p := <-r.eps[1].Inbox()
+		p := <-r.eps[1].Recv()
 		if p.Kind == comm.PktToken {
 			tok = p
 		} else {
@@ -186,17 +186,17 @@ func TestForceFloor(t *testing.T) {
 		t.Fatal("forced initiation ignored the floor")
 	}
 	select {
-	case <-r.eps[1].Inbox():
+	case <-r.eps[1].Recv():
 		t.Fatal("token sent despite the floor")
 	default:
 	}
 }
 
 func newRingWithPeriod(n int, period time.Duration) *ring {
-	r := &ring{n: n, net: comm.NewNetwork(n, comm.CostModel{}, 0)}
+	r := &ring{n: n, net: comm.NewInProc(n)}
 	r.st = make([]stats.Counters, n)
 	for i := 0; i < n; i++ {
-		r.eps = append(r.eps, r.net.NewEndpoint(i, comm.AggConfig{}, &r.st[i]))
+		r.eps = append(r.eps, comm.NewEndpoint(r.net, i, comm.AggConfig{}, &r.st[i]))
 	}
 	for i := 0; i < n; i++ {
 		r.mgrs = append(r.mgrs, NewManager(i, n, r.eps[i], period, &r.st[i]))

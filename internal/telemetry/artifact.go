@@ -16,6 +16,14 @@ type RunSummary struct {
 	Model string `json:"model"`
 	// Flags records the CLI configuration that produced the run.
 	Flags map[string]string `json:"flags,omitempty"`
+	// Transport names the communication substrate ("inproc" or "tcp").
+	// Empty means inproc (pre-transport artifacts).
+	Transport string `json:"transport,omitempty"`
+	// Rank is this process's rank in a distributed run (0 otherwise). Only
+	// rank 0's artifact covers the whole model.
+	Rank int `json:"rank,omitempty"`
+	// Ranks is the number of processes in the run (1 for in-process).
+	Ranks int `json:"ranks,omitempty"`
 	// ElapsedSeconds is the wall-clock duration of the parallel phase.
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// FinalGVT is the final Global Virtual Time ("+inf" when drained).

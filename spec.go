@@ -2,8 +2,12 @@ package gowarp
 
 import (
 	"fmt"
+	"net"
 	"strconv"
 	"strings"
+	"time"
+
+	"gowarp/internal/comm"
 )
 
 // This file parses the compact facet-spec strings used by command-line
@@ -212,6 +216,123 @@ func ParseOptSpec(spec string) (OptimismConfig, error) {
 		return cfg, fmt.Errorf("optimism spec %q: mode static needs window=N", spec)
 	}
 	return cfg, nil
+}
+
+// TransportSpec is a parsed -transport flag: which substrate carries the
+// physical messages, and (for tcp) this process's place in the rank fleet.
+type TransportSpec struct {
+	// Kind is "inproc" or "tcp".
+	Kind string
+	// Rank is this process's rank (tcp only).
+	Rank int
+	// Peers is the rank-ordered list of peer addresses, including this
+	// process's own (tcp only).
+	Peers []string
+	// Listen, when set, overrides the address this rank binds (defaults to
+	// Peers[Rank]; useful to bind 0.0.0.0 while peers dial a routable name).
+	Listen string
+	// Timeout, when positive, bounds the join handshake.
+	Timeout time.Duration
+}
+
+// Distributed reports whether the spec names a multi-process transport.
+func (s TransportSpec) Distributed() bool { return s.Kind == "tcp" && len(s.Peers) > 1 }
+
+// ParseTransportSpec parses a transport spec:
+//
+//	inproc                     every LP a goroutine in this process (default)
+//	tcp,rank=N,peers=HOST:PORT;HOST:PORT;...[,listen=ADDR][,timeout=DUR]
+//
+// peers is the rank-ordered address list (";"-separated, one per rank,
+// including this process's own at position rank); every rank of one logical
+// run must be started with the same peers list and its own rank. listen
+// overrides the bound address (default peers[rank]); timeout bounds the join
+// handshake (default 10s).
+func ParseTransportSpec(spec string) (TransportSpec, error) {
+	s := TransportSpec{Kind: "inproc", Rank: -1}
+	parts := strings.Split(spec, ",")
+	switch parts[0] {
+	case "", "inproc", "local":
+		if len(parts) > 1 {
+			return s, fmt.Errorf("transport spec %q: parameters need mode tcp", spec)
+		}
+		s.Kind = "inproc"
+		return s, nil
+	case "tcp":
+		s.Kind = "tcp"
+	default:
+		return s, fmt.Errorf("transport spec %q: unknown mode %q (inproc or tcp)", spec, parts[0])
+	}
+	for _, p := range parts[1:] {
+		key, val, err := splitSpecParam(spec, p)
+		if err != nil {
+			return s, err
+		}
+		switch key {
+		case "rank":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return s, fmt.Errorf("transport spec %q: rank wants a non-negative integer, got %q", spec, val)
+			}
+			s.Rank = n
+		case "peers":
+			for _, a := range strings.Split(val, ";") {
+				if a == "" {
+					return s, fmt.Errorf("transport spec %q: empty peer address", spec)
+				}
+				s.Peers = append(s.Peers, a)
+			}
+		case "listen":
+			s.Listen = val
+		case "timeout":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return s, fmt.Errorf("transport spec %q: timeout wants a positive duration, got %q", spec, val)
+			}
+			s.Timeout = d
+		default:
+			return s, fmt.Errorf("transport spec %q: unknown key %q", spec, key)
+		}
+	}
+	if s.Rank < 0 {
+		return s, fmt.Errorf("transport spec %q: mode tcp needs rank=N", spec)
+	}
+	if len(s.Peers) == 0 {
+		return s, fmt.Errorf("transport spec %q: mode tcp needs peers=ADDR;ADDR;...", spec)
+	}
+	if s.Rank >= len(s.Peers) {
+		return s, fmt.Errorf("transport spec %q: rank %d out of range for %d peers", spec, s.Rank, len(s.Peers))
+	}
+	return s, nil
+}
+
+// NewTransport builds the transport the spec describes for a numLPs-process
+// model, carrying the run's cost model and inbox depth into the substrate.
+// The inproc kind returns the same transport the kernel would default to.
+func (s TransportSpec) NewTransport(numLPs int, cost CostModel, inboxDepth int) (Transport, error) {
+	switch s.Kind {
+	case "", "inproc":
+		return comm.NewInProc(numLPs, comm.WithCost(cost), comm.WithInboxDepth(inboxDepth)), nil
+	case "tcp":
+		cfg := TCPTransportConfig{
+			Rank:        s.Rank,
+			Addrs:       s.Peers,
+			NumLPs:      numLPs,
+			Cost:        cost,
+			InboxDepth:  inboxDepth,
+			DialTimeout: s.Timeout,
+		}
+		if s.Listen != "" && s.Listen != s.Peers[s.Rank] {
+			ln, err := net.Listen("tcp", s.Listen)
+			if err != nil {
+				return nil, fmt.Errorf("transport listen %q: %w", s.Listen, err)
+			}
+			cfg.Listener = ln
+		}
+		return comm.NewTCP(cfg)
+	default:
+		return nil, fmt.Errorf("transport spec: unknown kind %q", s.Kind)
+	}
 }
 
 func splitSpecParam(spec, p string) (key, val string, err error) {

@@ -1,6 +1,7 @@
 package gowarp
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -141,6 +142,66 @@ func TestParseOptSpecErrors(t *testing.T) {
 	} {
 		if _, err := ParseOptSpec(spec); err == nil {
 			t.Errorf("ParseOptSpec(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestParseTransportSpec(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want TransportSpec
+	}{
+		{"", TransportSpec{Kind: "inproc", Rank: -1}},
+		{"inproc", TransportSpec{Kind: "inproc", Rank: -1}},
+		{"local", TransportSpec{Kind: "inproc", Rank: -1}},
+		{
+			"tcp,rank=0,peers=localhost:9001;localhost:9002",
+			TransportSpec{Kind: "tcp", Rank: 0, Peers: []string{"localhost:9001", "localhost:9002"}},
+		},
+		{
+			"tcp,rank=1,peers=a:1;b:2;c:3,listen=0.0.0.0:2,timeout=30s",
+			TransportSpec{
+				Kind: "tcp", Rank: 1, Peers: []string{"a:1", "b:2", "c:3"},
+				Listen: "0.0.0.0:2", Timeout: 30 * time.Second,
+			},
+		},
+	} {
+		got, err := ParseTransportSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseTransportSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseTransportSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+	if s, _ := ParseTransportSpec("tcp,rank=0,peers=a:1;b:2"); !s.Distributed() {
+		t.Error("2-peer tcp spec not Distributed")
+	}
+	if s, _ := ParseTransportSpec("inproc"); s.Distributed() {
+		t.Error("inproc spec claims Distributed")
+	}
+}
+
+func TestParseTransportSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",
+		"inproc,rank=0",
+		"local,peers=a:1",
+		"tcp",
+		"tcp,rank=0",
+		"tcp,peers=a:1;b:2",
+		"tcp,rank=2,peers=a:1;b:2",
+		"tcp,rank=-1,peers=a:1;b:2",
+		"tcp,rank=x,peers=a:1;b:2",
+		"tcp,rank=0,peers=a:1;;b:2",
+		"tcp,rank=0,peers=a:1;b:2,timeout=fast",
+		"tcp,rank=0,peers=a:1;b:2,timeout=-1s",
+		"tcp,rank=0,peers=a:1;b:2,frobnicate=2",
+		"tcp,rank",
+	} {
+		if _, err := ParseTransportSpec(spec); err == nil {
+			t.Errorf("ParseTransportSpec(%q): want error, got nil", spec)
 		}
 	}
 }
