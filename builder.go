@@ -166,6 +166,14 @@ func (b *ConfigBuilder) WithTransport(t Transport) *ConfigBuilder {
 	return b
 }
 
+// WithWorkers runs the LPs on a pool of n workers with least-timestamp-first
+// schedule queues instead of one goroutine per LP (n = 0, the default).
+// Requires the in-process transport; n above the LP count is clamped.
+func (b *ConfigBuilder) WithWorkers(n int) *ConfigBuilder {
+	b.cfg.Workers = n
+	return b
+}
+
 // WithTuner attaches an external parameter tuner.
 func (b *ConfigBuilder) WithTuner(t *Tuner) *ConfigBuilder {
 	b.cfg.Tuner = t

@@ -49,7 +49,7 @@ func benchResult(fig exp.Figure) telemetry.BenchResult {
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "comma-separated experiments: rates,rates_codec,opt,fig5,fig6,fig7,fig8,fig9,ckpt-sweep,sched,gvt-period,ctl-period,disk-sens,tw-vs-cmb or 'all'")
+		which   = flag.String("exp", "all", "comma-separated experiments: rates,rates_codec,opt,scale,fig5,fig6,fig7,fig8,fig9,ckpt-sweep,sched,gvt-period,ctl-period,disk-sens,tw-vs-cmb or 'all'")
 		repeat  = flag.Int("repeat", 1, "measured runs averaged per data point")
 		quick   = flag.Bool("quick", false, "shrink workloads ~10x (shape checks)")
 		rates   = flag.Bool("rates", false, "also print committed-event rates per point")
@@ -112,8 +112,9 @@ func main() {
 		"ctl-period":  tb.ControlPeriodAblation,
 		"disk-sens":   tb.DiskSensitivityAblation,
 		"tw-vs-cmb":   tb.ConservativeComparison,
+		"scale":       tb.Scale,
 	}
-	order := []string{"rates", "rates_codec", "opt", "fig5", "fig6", "fig7", "fig8", "fig9",
+	order := []string{"rates", "rates_codec", "opt", "scale", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"ckpt-sweep", "sched", "gvt-period", "ctl-period", "disk-sens", "tw-vs-cmb"}
 
 	var names []string

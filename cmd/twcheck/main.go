@@ -12,9 +12,11 @@
 // never perturb simulation semantics — plus adaptive-optimism legs
 // (smmp-opt, phold-opt-mig) that re-run it with the on-line optimism-window
 // controller steering the bounded time window mid-run, alone and composed
-// with migration and the codec. Any divergence in committed events or
-// final states, or any runtime invariant violation, fails the sweep with a
-// nonzero exit.
+// with migration and the codec, plus worker-pool legs (phold-pool,
+// smmp-pool-mig) that re-run it on the worker-pool dispatcher — the
+// execution engine schedules when LPs run, never what they commit. Any
+// divergence in committed events or final states, or any runtime invariant
+// violation, fails the sweep with a nonzero exit.
 //
 // A separate multi-process leg (-model multiproc, which needs -twsim pointing
 // at a built binary) spawns two twsim ranks over TCP loopback and checks the
@@ -71,6 +73,9 @@ type check struct {
 	// optimism-window controller steering the bounded time window — the
 	// adaptive-optimism legs of the sweep.
 	optimism core.OptimismConfig
+	// workers, when positive, runs every cell on the worker-pool dispatcher
+	// instead of goroutine-per-LP — the pool legs of the sweep.
+	workers int
 }
 
 // skew rewrites part so LP 0 hosts almost everything (each other LP keeps
@@ -203,6 +208,25 @@ var checks = []check{
 		optimism: adaptiveOptimism,
 	},
 	{
+		name: "phold-pool",
+		build: func(seed uint64) *model.Model {
+			return phold.New(phold.Config{
+				Objects: 16, TokensPerObject: 3, MeanDelay: 10,
+				Locality: 0.2, LPs: 4, Seed: seed,
+			})
+		},
+		end: 1200, lookahead: 1, window: 100, workers: 2,
+	},
+	{
+		name: "smmp-pool-mig",
+		build: func(seed uint64) *model.Model {
+			m := smmp.New(smmp.Config{Requests: 60, Seed: seed})
+			skew(m.Partition, 4)
+			return m
+		},
+		end: 1 << 40, window: 2000, balance: aggressiveBalance, workers: 3,
+	},
+	{
 		name: "phold-codec",
 		build: func(seed uint64) *model.Model {
 			return phold.New(phold.Config{
@@ -236,7 +260,7 @@ var checks = []check{
 func main() {
 	var (
 		full      = flag.Bool("full", false, "run the full 81-cell matrix (default: the 9-cell diagonal covering every policy value)")
-		modelName = flag.String("model", "", "restrict the sweep to one model: phold, qnet, smmp, raid, phold-mig, smmp-mig, smmp-obs, smmp-opt, phold-opt-mig, phold-codec, smmp-codec, smmp-codec-mig, multiproc")
+		modelName = flag.String("model", "", "restrict the sweep to one model: phold, qnet, smmp, raid, phold-mig, smmp-mig, smmp-obs, smmp-opt, phold-opt-mig, phold-pool, smmp-pool-mig, phold-codec, smmp-codec, smmp-codec-mig, multiproc")
 		twsimBin  = flag.String("twsim", "", "path to a built twsim binary, required by the multiproc leg (which spawns two OS processes over TCP loopback)")
 		seed      = flag.Uint64("seed", 1, "model random seed")
 		gvtPeriod = flag.Duration("gvt-period", 200*time.Microsecond, "GVT period for the parallel legs")
@@ -275,6 +299,7 @@ func main() {
 			Codec:          c.codec,
 			Observe:        c.observe,
 			Optimism:       c.optimism,
+			Workers:        c.workers,
 			Cells:          cells,
 		})
 		if err != nil {

@@ -59,6 +59,8 @@ func main() {
 
 		transportFlag = flag.String("transport", "inproc", "transport spec: inproc, or tcp,rank=N,peers=HOST:PORT;HOST:PORT;... [,listen=ADDR][,timeout=DUR] — start every rank of one run with the same peers list and its own rank; rank 0 gathers the full results")
 
+		schedFlag = flag.String("sched", "lp", "execution engine spec: lp (one goroutine per LP), or pool[,workers=N] (worker-pool dispatcher, default N = GOMAXPROCS)")
+
 		perMsg    = flag.Duration("msg-cost", 0, "simulated per-physical-message CPU overhead")
 		eventCost = flag.Duration("event-cost", 0, "simulated CPU burn per event")
 		gvtPeriod = flag.Duration("gvt-period", 10*time.Millisecond, "GVT computation period")
@@ -102,6 +104,13 @@ func main() {
 	}
 	if tspec.Kind == "tcp" && *sequential {
 		fatal(fmt.Errorf("-sequential runs in one process; drop -transport"))
+	}
+	sspec, err := gowarp.ParseSchedSpec(*schedFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if sspec.Workers > 0 && tspec.Kind == "tcp" {
+		fatal(fmt.Errorf("-sched=pool needs the in-process transport; drop -transport"))
 	}
 
 	if *cpuProf != "" {
@@ -197,6 +206,7 @@ func main() {
 	cfg.GVTPeriod = *gvtPeriod
 	cfg.OptimismWindow = gowarp.VTime(*window)
 	cfg.EventCost = *eventCost
+	cfg.Workers = sspec.Workers
 	cfg.Cost = gowarp.CostModel{PerMessage: *perMsg, PerByte: 10 * time.Nanosecond}
 
 	switch *cancelMode {
@@ -348,26 +358,29 @@ func main() {
 		flag.VisitAll(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
 		stats.SortPerObject(res.PerObject)
 		sum := gowarp.RunSummary{
-			Model:               m.Name,
-			Flags:               flags,
-			Transport:           tspec.Kind,
-			Rank:                rank,
-			Ranks:               ranks,
-			ElapsedSeconds:      res.Elapsed.Seconds(),
-			FinalGVT:            res.GVT.String(),
-			EventsPerSec:        res.EventRate(),
-			Efficiency:          res.Stats.Efficiency(),
-			HitRatio:            res.Stats.HitRatio(),
-			MeanRollbackLength:  res.Stats.MeanRollbackLength(),
-			WastedWorkRatio:     res.Stats.WastedWorkRatio(),
-			FinalStateHash:      stateHash,
-			Stats:               res.Stats,
-			PerLP:               res.PerLP,
-			PerObject:           res.PerObject,
-			TraceDropped:        tracer.Dropped(),
-			FinalPartition:      res.FinalPartition,
-			FinalOptimismWindow: int64(res.FinalOptimismWindow),
-			OptimismSwitches:    res.Stats.OptimismAdjustments,
+			Model:                 m.Name,
+			Flags:                 flags,
+			Transport:             tspec.Kind,
+			Rank:                  rank,
+			Ranks:                 ranks,
+			ElapsedSeconds:        res.Elapsed.Seconds(),
+			FinalGVT:              res.GVT.String(),
+			EventsPerSec:          res.EventRate(),
+			Efficiency:            res.Stats.Efficiency(),
+			HitRatio:              res.Stats.HitRatio(),
+			MeanRollbackLength:    res.Stats.MeanRollbackLength(),
+			WastedWorkRatio:       res.Stats.WastedWorkRatio(),
+			FinalStateHash:        stateHash,
+			Stats:                 res.Stats,
+			PerLP:                 res.PerLP,
+			PerObject:             res.PerObject,
+			TraceDropped:          tracer.Dropped(),
+			FinalPartition:        res.FinalPartition,
+			FinalOptimismWindow:   int64(res.FinalOptimismWindow),
+			OptimismSwitches:      res.Stats.OptimismAdjustments,
+			Workers:               len(res.PerWorker),
+			PerWorker:             res.PerWorker,
+			FinalWorkerAssignment: res.FinalWorkerAssignment,
 		}
 		if sampler != nil {
 			sum.Roughness = sampler.Summary()

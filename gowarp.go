@@ -4,10 +4,14 @@
 // Discrete Event Simulator" (ICPP 1998).
 //
 // Simulation models are collections of Objects exchanging time-stamped
-// events. The kernel executes them optimistically across logical processes
-// (one goroutine each), detecting causality violations and rolling back as
-// needed; all Time Warp machinery — state saving, rollback, cancellation,
-// GVT, fossil collection — is the kernel's business, invisible to models.
+// events. The kernel executes them optimistically across logical processes,
+// detecting causality violations and rolling back as needed; all Time Warp
+// machinery — state saving, rollback, cancellation, GVT, fossil collection —
+// is the kernel's business, invisible to models. Two execution engines drive
+// the LPs: one goroutine per LP (the default), or a worker-pool dispatcher
+// (Config.Workers) that multiplexes arbitrarily many LPs onto a fixed set of
+// workers, each pulling its lowest-timestamp runnable LP from a local
+// schedule queue — the engine that hosts models of 10^6 objects.
 //
 // Six facets of the kernel can be configured statically or placed under
 // on-line feedback control. Every facet has the same shape — a Mode, its
@@ -130,6 +134,9 @@ type (
 	SeqResult = core.SeqResult
 	// Counters is the statistics tally.
 	Counters = stats.Counters
+	// WorkerStats is one pool worker's run tally (Result.PerWorker, present
+	// when Config.Workers selects the worker-pool dispatcher).
+	WorkerStats = stats.WorkerStats
 	// Sample is one adaptation-timeline point (set Config.Timeline).
 	Sample = core.Sample
 	// LPTimeline is one logical process's adaptation timeline.

@@ -39,6 +39,20 @@ type Config struct {
 	// StatePadding adds bytes of saved-but-unread state so checkpointing
 	// has a real cost.
 	StatePadding int
+	// Sparse selects arithmetic destination choice over the block partition
+	// instead of per-object neighbor lists. The dense default precomputes an
+	// O(Objects) list per object — O(Objects^2) overall, fine at benchmark
+	// scale, prohibitive at 10^5..10^6 objects. Sparse objects hold O(1)
+	// state each and share one Config, so a million-object model allocates
+	// megabytes, not terabytes. Sparse draws a different (but equally
+	// deterministic) destination sequence than dense; the dense path is
+	// byte-for-byte unchanged.
+	Sparse bool
+	// HotSpot is the probability that a token's next hop targets object 0
+	// regardless of locality (0 = uniform PHOLD) — the skewed workload whose
+	// load concentrates on one LP, built to exercise load balancing and the
+	// worker pool's LP->worker remapping. Needs Sparse.
+	HotSpot float64
 }
 
 func (c Config) withDefaults() Config {
@@ -181,9 +195,101 @@ func (o *object) launch(ctx model.Context, s *state, hops uint64) {
 	ctx.Send(dest, delay, 0, o.buf[:])
 }
 
+// sparseObject is the O(1)-memory PHOLD object: no neighbor lists, a shared
+// Config, and arithmetic destination choice over the block partition.
+type sparseObject struct {
+	self int
+	cfg  *Config
+	// lpLo/lpHi bound this object's LP block [lpLo, lpHi) in object-ID space.
+	lpLo, lpHi int32
+	buf        [8]byte
+}
+
+// Name implements model.Object. Computed on demand: a million stored name
+// strings would dwarf the objects themselves.
+func (o *sparseObject) Name() string { return fmt.Sprintf("phold.%d", o.self) }
+
+// InitialState implements model.Object.
+func (o *sparseObject) InitialState() model.State {
+	s := &state{Rng: model.NewRand(o.cfg.Seed ^ (uint64(o.self)+1)*0x9E3779B97F4A7C15)}
+	if o.cfg.StatePadding > 0 {
+		s.Pad = make([]byte, o.cfg.StatePadding)
+	}
+	return s
+}
+
+// Init launches the object's initial token population.
+func (o *sparseObject) Init(ctx model.Context, st model.State) {
+	s := st.(*state)
+	for i := 0; i < o.cfg.TokensPerObject; i++ {
+		o.launch(ctx, s, 0)
+	}
+}
+
+// Execute receives a token and forwards it after an exponential delay.
+func (o *sparseObject) Execute(ctx model.Context, st model.State, ev *event.Event) {
+	s := st.(*state)
+	s.Received++
+	hops := binary.LittleEndian.Uint64(ev.Payload)
+	s.Hops += int64(hops)
+	if len(s.Pad) > 0 {
+		s.Pad[int(s.Received)%len(s.Pad)]++
+	}
+	o.launch(ctx, s, hops+1)
+}
+
+func (o *sparseObject) launch(ctx model.Context, s *state, hops uint64) {
+	cfg := o.cfg
+	var dest event.ObjectID
+	mates := int(o.lpHi - o.lpLo)
+	switch {
+	case cfg.HotSpot > 0 && s.Rng.Float64() < cfg.HotSpot:
+		dest = 0
+	case mates == cfg.Objects || s.Rng.Float64() < cfg.Locality:
+		// Stay local: a uniform draw inside this object's LP block.
+		dest = event.ObjectID(int(o.lpLo) + s.Rng.Intn(mates))
+	default:
+		// Go remote: a uniform draw over the IDs outside the block, skipping
+		// over it arithmetically instead of consulting a list.
+		r := s.Rng.Intn(cfg.Objects - mates)
+		if r >= int(o.lpLo) {
+			r += mates
+		}
+		dest = event.ObjectID(r)
+	}
+	delay := vtime.Time(cfg.MinDelay - 1 + s.Rng.Exp(cfg.MeanDelay))
+	binary.LittleEndian.PutUint64(o.buf[:], hops)
+	ctx.Send(dest, delay, 0, o.buf[:])
+}
+
+// newSparse builds the sparse variant: the same block partition, objects that
+// compute their neighborhoods arithmetically.
+func newSparse(cfg Config) *model.Model {
+	part := make([]int, cfg.Objects)
+	for i := range part {
+		part[i] = i * cfg.LPs / cfg.Objects
+	}
+	// LP p hosts the ID block [ceil(p*N/LPs), ceil((p+1)*N/LPs)).
+	blockLo := func(p int) int { return (p*cfg.Objects + cfg.LPs - 1) / cfg.LPs }
+	shared := &cfg
+	m := &model.Model{Name: "phold", Partition: part, Objects: make([]model.Object, cfg.Objects)}
+	for i := 0; i < cfg.Objects; i++ {
+		m.Objects[i] = &sparseObject{
+			self: i,
+			cfg:  shared,
+			lpLo: int32(blockLo(part[i])),
+			lpHi: int32(blockLo(part[i] + 1)),
+		}
+	}
+	return m
+}
+
 // New builds a PHOLD model with a block partition of objects onto LPs.
 func New(cfg Config) *model.Model {
 	cfg = cfg.withDefaults()
+	if cfg.Sparse {
+		return newSparse(cfg)
+	}
 	part := make([]int, cfg.Objects)
 	for i := range part {
 		part[i] = i * cfg.LPs / cfg.Objects

@@ -1,9 +1,11 @@
 package phold
 
 import (
+	"reflect"
 	"testing"
 
 	"gowarp/internal/core"
+	"gowarp/internal/model"
 	"gowarp/internal/vtime"
 )
 
@@ -84,6 +86,84 @@ func TestStatePaddingTouched(t *testing.T) {
 	}
 	if !touched {
 		t.Error("padding is dead weight; the model should touch it")
+	}
+}
+
+// TestSparseStructure: the sparse variant's partition and LP blocks must
+// coincide with the dense block partition, and destinations must stay in
+// range for every (Objects, LPs) shape.
+func TestSparseStructure(t *testing.T) {
+	for _, shape := range []struct{ n, lps int }{{12, 3}, {13, 4}, {7, 7}, {100, 8}, {5, 1}} {
+		dense := New(Config{Objects: shape.n, LPs: shape.lps})
+		sparse := New(Config{Objects: shape.n, LPs: shape.lps, Sparse: true})
+		if err := sparse.Validate(); err != nil {
+			t.Fatalf("%d/%d: %v", shape.n, shape.lps, err)
+		}
+		for i := range dense.Partition {
+			if dense.Partition[i] != sparse.Partition[i] {
+				t.Fatalf("%d/%d: partition diverges at %d", shape.n, shape.lps, i)
+			}
+		}
+		for i, obj := range sparse.Objects {
+			o := obj.(*sparseObject)
+			if int(o.lpLo) > i || i >= int(o.lpHi) {
+				t.Fatalf("%d/%d: object %d outside its block [%d,%d)", shape.n, shape.lps, i, o.lpLo, o.lpHi)
+			}
+			for j := int(o.lpLo); j < int(o.lpHi); j++ {
+				if sparse.Partition[j] != sparse.Partition[i] {
+					t.Fatalf("%d/%d: block [%d,%d) of %d spans LPs", shape.n, shape.lps, o.lpLo, o.lpHi, i)
+				}
+			}
+			if o.lpLo > 0 && sparse.Partition[o.lpLo-1] == sparse.Partition[i] {
+				t.Fatalf("%d/%d: block of %d starts late", shape.n, shape.lps, i)
+			}
+		}
+	}
+}
+
+// TestSparseConservation: the sparse variant keeps PHOLD's closed population.
+func TestSparseConservation(t *testing.T) {
+	m := New(Config{Objects: 64, TokensPerObject: 2, MeanDelay: 10, LPs: 8, Seed: 3, Sparse: true, HotSpot: 0.3})
+	res, err := core.RunSequential(m, 3000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var received int64
+	for _, st := range res.FinalStates {
+		received += st.(*state).Received
+	}
+	if received != res.EventsExecuted {
+		t.Errorf("received %d, executed %d", received, res.EventsExecuted)
+	}
+	// The hot spot must actually skew the load toward object 0.
+	hot := res.FinalStates[0].(*state).Received
+	if float64(hot) < 3*float64(received)/64 {
+		t.Errorf("hot spot cold: object 0 received %d of %d", hot, received)
+	}
+}
+
+// TestSparseParallelMatch: a sparse hot-spot model commits the same
+// computation on the parallel kernel as on the sequential reference.
+func TestSparseParallelMatch(t *testing.T) {
+	build := func() *model.Model {
+		return New(Config{Objects: 32, TokensPerObject: 2, MeanDelay: 10,
+			Locality: 0.5, LPs: 4, Seed: 9, Sparse: true, HotSpot: 0.2})
+	}
+	seq, err := core.RunSequential(build(), 2000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(2000)
+	cfg.OptimismWindow = 200
+	res, err := core.Run(build(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EventsCommitted != seq.EventsExecuted {
+		t.Errorf("committed %d, sequential %d", res.Stats.EventsCommitted, seq.EventsExecuted)
+	}
+	if !reflect.DeepEqual(res.FinalStates, seq.FinalStates) {
+		t.Error("final states diverge")
 	}
 }
 

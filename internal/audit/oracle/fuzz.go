@@ -36,10 +36,12 @@ type FuzzSpec struct {
 	// Optimism configures the optimism facet (zero value = static, the
 	// pre-facet behaviour).
 	Optimism core.OptimismConfig
+	// Workers is the worker-pool size, 0 (goroutine-per-LP) to 3.
+	Workers int
 }
 
-// DecodeFuzzSpec maps 11 fuzzer-controlled bytes onto a FuzzSpec. Inputs
-// shorter than 11 bytes read as zero bytes, so every input decodes.
+// DecodeFuzzSpec maps 12 fuzzer-controlled bytes onto a FuzzSpec. Inputs
+// shorter than 12 bytes read as zero bytes, so every input decodes.
 func DecodeFuzzSpec(data []byte) FuzzSpec {
 	b := func(i int) byte {
 		if i < len(data) {
@@ -80,6 +82,9 @@ func DecodeFuzzSpec(data []byte) FuzzSpec {
 			MinSample: 8 + int64(a)%32,
 		}
 	}
+	// Byte 11 selects the execution engine: 0 = goroutine-per-LP, else a
+	// worker pool of 1..3 workers (the kernel clamps to the LP count).
+	spec.Workers = int(b(11)) % 4
 	return spec
 }
 
@@ -125,6 +130,7 @@ func (s FuzzSpec) Options() Options {
 		OptimismWindow: s.OptimismWindow,
 		Optimism:       s.Optimism,
 		Lookahead:      s.Lookahead(),
+		Workers:        s.Workers,
 		Cells:          Matrix()[s.Cell : s.Cell+1],
 	}
 }

@@ -24,6 +24,10 @@ func FuzzKernelOracle(f *testing.F) {
 	f.Add([]byte("\x01\x08\x02\x02\x03\x04\x07\x05\x43\x3c"))
 	// PHOLD again with the adaptive optimism controller on (byte 10).
 	f.Add([]byte("\x00\x06\x02\x02\x02\x06\x01\x03\x00\x32\x05"))
+	// PHOLD on the worker-pool dispatcher, 2 workers (byte 11).
+	f.Add([]byte("\x00\x06\x02\x02\x02\x06\x01\x03\x00\x00\x00\x02"))
+	// QNet on the pool with adaptive optimism and the cell's facets all on.
+	f.Add([]byte("\x01\x08\x02\x02\x03\x04\x07\x05\x43\x3c\x05\x03"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec := DecodeFuzzSpec(data)
 		rep, err := Run(spec.Model(), spec.Options())

@@ -151,6 +151,11 @@ type Options struct {
 	// non-perturbing — every differential and invariant check applies
 	// unchanged with it on.
 	Observe bool
+	// Workers, when positive, runs every parallel leg on the worker-pool
+	// dispatcher instead of goroutine-per-LP. The execution engine schedules
+	// when LPs run, never what they commit, so every differential and
+	// invariant check applies unchanged.
+	Workers int
 	// Cells selects the matrix subset to run (nil = the full Matrix()).
 	Cells []Cell
 }
@@ -320,6 +325,7 @@ func runCell(m *model.Model, cell Cell, opts Options, gvtPeriod time.Duration,
 		InboxDepth:     1 << 14,
 		Balance:        opts.Balance,
 		Codec:          opts.Codec,
+		Workers:        opts.Workers,
 		Audit:          au,
 	}
 	if opts.Observe {

@@ -267,3 +267,44 @@ func TestExecutePathAllocationBudget(t *testing.T) {
 		t.Errorf("facets-enabled execute path allocates %.2f per event, budget %.1f", perEvent, budget)
 	}
 }
+
+// TestWorkerPoolAllocationBudget pins the pool engine to the same marginal
+// per-event allocation discipline as the goroutine engine: spillbox delivery,
+// schedule-heap churn and worker wakeups must not reintroduce per-event
+// garbage. Sparse PHOLD keeps the model side allocation-free; the bound is a
+// cap (spillbox slices grow amortized, per-worker pools warm up), not zero.
+func TestWorkerPoolAllocationBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budget measurement skipped in -short mode")
+	}
+	runOnce := func(end vtime.Time) (mallocs uint64, events int64) {
+		m := phold.New(phold.Config{
+			Objects: 32, TokensPerObject: 2, MeanDelay: 10,
+			Locality: 0.8, LPs: 8, Seed: 5, Sparse: true,
+		})
+		cfg := DefaultConfig(end)
+		cfg.Workers = 2
+		cfg.Checkpoint = statesave.Config{Mode: statesave.Periodic, Interval: 4}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		m0 := ms.Mallocs
+		res, err := Run(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&ms)
+		return ms.Mallocs - m0, res.Stats.EventsCommitted
+	}
+	shortAllocs, shortEvents := runOnce(3_000)
+	longAllocs, longEvents := runOnce(30_000)
+	if longEvents <= shortEvents {
+		t.Fatalf("long run committed %d events, short %d; cannot take a marginal measurement",
+			longEvents, shortEvents)
+	}
+	perEvent := float64(longAllocs-shortAllocs) / float64(longEvents-shortEvents)
+	t.Logf("marginal allocations: %.2f per committed event (worker pool)", perEvent)
+	const budget = 4.0
+	if perEvent > budget {
+		t.Errorf("worker-pool execute path allocates %.2f per event, budget %.1f", perEvent, budget)
+	}
+}

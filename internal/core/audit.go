@@ -17,6 +17,15 @@ func drainInboxes(lps []*lpRun) [][]comm.Packet {
 		if lp == nil {
 			continue // hosted by another rank
 		}
+		if b := lp.spill; b != nil {
+			// Pool mode: the spillbox replaces the inbox channel.
+			b.mu.Lock()
+			out[i] = append(out[i], b.q...)
+			b.q = nil
+			b.n.Store(0)
+			b.mu.Unlock()
+			continue
+		}
 	drain:
 		for {
 			select {

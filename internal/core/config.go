@@ -64,6 +64,15 @@ type Config struct {
 
 	// GVTPeriod is the wall-clock interval between GVT computations.
 	GVTPeriod time.Duration
+
+	// Workers, when positive, selects the worker-pool event dispatcher: N
+	// worker goroutines host all the run's logical processes, each pulling
+	// the lowest-timestamped runnable object from a per-worker schedule
+	// queue, with LP→worker sharding re-mapped on line from observed event
+	// rates (see dispatch.go). Zero (the default) keeps the legacy
+	// goroutine-per-LP execution exactly. Values above the LP count are
+	// clamped to it; pool mode requires the default in-process transport.
+	Workers int
 	// PendingSet selects the pending-event-set implementation.
 	PendingSet pq.Kind
 	// InboxDepth is the per-LP physical-message inbox capacity.
@@ -262,6 +271,14 @@ type Result struct {
 	// dependent when adaptive, so — like FinalPartition — it is not part of
 	// the deterministic run artifact.
 	FinalOptimismWindow vtime.Time
+	// PerWorker holds each dispatcher worker's scheduling statistics (nil
+	// unless Config.Workers selected the worker pool). Wall-clock-dependent,
+	// so not part of the deterministic run artifact.
+	PerWorker []stats.WorkerStats
+	// FinalWorkerAssignment is the LP→worker map when the run ended (nil
+	// unless the worker pool ran); it differs from the initial block
+	// sharding only when the on-line remap controller moved LPs.
+	FinalWorkerAssignment []int
 }
 
 // EventRate returns committed events per second of wall-clock time — the

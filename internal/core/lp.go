@@ -56,8 +56,22 @@ type lpRun struct {
 	// pool is this LP's event free list (see the ownership rules in package
 	// event). Everything the LP creates, clones or decodes draws from it,
 	// and annihilation, fossil collection and anti-message transmission
-	// recycle into it. Single-goroutine, like everything else here.
+	// recycle into it. Single-owner, like everything else here: in legacy
+	// mode the owner is this LP's goroutine; under the worker-pool
+	// dispatcher the pool belongs to the owning worker (shared by its other
+	// LPs) and is rebound on adoption.
 	pool *event.Pool
+
+	// spill is this LP's inbound packet queue under the worker-pool
+	// dispatcher (nil in legacy goroutine-per-LP mode, where inbox is the
+	// receive channel instead). spillScratch is the drained batch from the
+	// previous round, reused so steady-state draining allocates nothing.
+	spill        *spillbox
+	spillScratch []comm.Packet
+
+	// dsp is the worker-pool dispatcher (nil in legacy mode); LP 0 fires its
+	// remap controller at each GVT application.
+	dsp *dispatcher
 
 	// deferred holds intra-LP messages awaiting insertion; deferring them
 	// to the main loop keeps rollback cascades from re-entering an object
@@ -127,9 +141,17 @@ type lpRun struct {
 	reports []comm.Packet
 }
 
-// refresh re-keys o in the schedule heap after its pending set changed.
+// refresh re-keys o in the schedule heap after its pending set changed,
+// carrying the deterministic (vt, seq, object-id) tie-break the oracle
+// hashes depend on: at equal receive times the object whose head event has
+// the lower send sequence (then the lower global id) executes first,
+// independent of the slot order migrations happen to have produced.
 func (lp *lpRun) refresh(o *simObject) {
-	lp.sched.Update(o.slot, o.nextTime())
+	if e := o.pending.PeekMin(); e != nil {
+		lp.sched.UpdateKey(o.slot, e.RecvTime, uint64(e.SendSeq), int32(o.id))
+		return
+	}
+	lp.sched.UpdateKey(o.slot, vtime.PosInf, 0, int32(o.id))
 }
 
 // noteEdge feeds the load recorder's communication-affinity matrix.
@@ -236,8 +258,13 @@ func (lp *lpRun) drainDeferred() {
 	}
 }
 
-// drainInbox handles every packet currently queued, without blocking.
+// drainInbox handles every packet currently queued, without blocking. Legacy
+// mode reads the transport channel; pool mode drains the spillbox.
 func (lp *lpRun) drainInbox() {
+	if lp.spill != nil {
+		lp.drainSpill()
+		return
+	}
 	for lp.running {
 		select {
 		case p := <-lp.inbox:
@@ -245,6 +272,42 @@ func (lp *lpRun) drainInbox() {
 		default:
 			return
 		}
+	}
+}
+
+// drainSpill handles every packet queued in the spillbox. Batches swap out
+// under the lock and the drained slice is reused next round. Like the
+// channel path, handling stops when a packet stops the LP — the remainder
+// goes back to the front of the queue for the end-of-run sweep.
+func (lp *lpRun) drainSpill() {
+	for lp.running {
+		b := lp.spill
+		if b.n.Load() == 0 {
+			return
+		}
+		b.mu.Lock()
+		if len(b.q) == 0 {
+			b.mu.Unlock()
+			return
+		}
+		q := b.q
+		b.q = lp.spillScratch[:0]
+		b.n.Store(0)
+		b.mu.Unlock()
+		for i := range q {
+			p := q[i]
+			q[i] = comm.Packet{}
+			lp.handlePacket(p)
+			if !lp.running && i+1 < len(q) {
+				rest := append([]comm.Packet(nil), q[i+1:]...)
+				b.mu.Lock()
+				b.q = append(rest, b.q...)
+				b.n.Store(int32(len(b.q)))
+				b.mu.Unlock()
+				break
+			}
+		}
+		lp.spillScratch = q[:0]
 	}
 }
 
@@ -384,6 +447,9 @@ func (lp *lpRun) applyGVT(g vtime.Time) {
 		// includes this LP's own latest counters.
 		lp.runOptimism()
 	}
+	if lp.dsp != nil && lp.id == 0 {
+		lp.dsp.maybeRemap()
+	}
 	if lp.met != nil {
 		lp.publishMetrics(g)
 	}
@@ -408,30 +474,50 @@ func (lp *lpRun) initObjects() {
 	}
 }
 
-// run is the LP goroutine body: drain communication, keep the control
-// machinery ticking, execute the lowest-timestamped local event, repeat;
-// block briefly when idle.
+// pump drains communication and keeps the control machinery ticking: inbox
+// (or spillbox), deferred intra-LP messages, GVT initiation on LP 0, and the
+// endpoint's aggregation deadlines. Shared by the legacy per-LP loop and the
+// worker-pool dispatcher.
+func (lp *lpRun) pump(now time.Time) {
+	lp.drainInbox()
+	if !lp.running {
+		return
+	}
+	lp.drainDeferred()
+	if lp.id == 0 {
+		lp.maybeGVT(false)
+	}
+	lp.ep.Poll(now)
+}
+
+// execStep executes the lowest-timestamped pending event if one lies within
+// the end time and the optimism horizon, reporting whether anything ran.
+func (lp *lpRun) execStep() bool {
+	slot, t := lp.sched.Min()
+	if slot < 0 || t == vtime.PosInf || t.After(lp.cfg.EndTime) || t.After(lp.horizon()) {
+		return false
+	}
+	o := lp.objs[slot]
+	o.executeNext()
+	lp.refresh(o)
+	if lp.obs != nil {
+		lp.obs.PublishLVT(lp.id, int64(o.lvt))
+	}
+	return true
+}
+
+// run is the legacy goroutine-per-LP body: drain communication, keep the
+// control machinery ticking, execute the lowest-timestamped local event,
+// repeat; block briefly when idle. (Under Config.Workers > 0 the worker-pool
+// dispatcher drives the same pump/execStep pieces instead; see dispatch.go.)
 func (lp *lpRun) run() {
 	lp.initObjects()
 	for lp.running {
-		lp.drainInbox()
+		lp.pump(time.Now())
 		if !lp.running {
 			break
 		}
-		lp.drainDeferred()
-		if lp.id == 0 {
-			lp.maybeGVT(false)
-		}
-		lp.ep.Poll(time.Now())
-
-		slot, t := lp.sched.Min()
-		if slot >= 0 && t != vtime.PosInf && !t.After(lp.cfg.EndTime) && !t.After(lp.horizon()) {
-			o := lp.objs[slot]
-			o.executeNext()
-			lp.refresh(o)
-			if lp.obs != nil {
-				lp.obs.PublishLVT(lp.id, int64(o.lvt))
-			}
+		if lp.execStep() {
 			// Yield between events so peers' control traffic (GVT tokens,
 			// stragglers) flows at event granularity even when the host
 			// has fewer cores than LPs; without this a spinning LP holds

@@ -37,6 +37,15 @@ type runMetrics struct {
 
 	optWindow   *telemetry.Metric
 	optSwitches *telemetry.Metric
+
+	// Worker-pool metrics (pool runs only; the slot index is the worker id,
+	// valid because the kernel clamps the worker count to the LP count).
+	workerEvents    *telemetry.Metric
+	workerBusy      *telemetry.Metric
+	workerOwned     *telemetry.Metric
+	workerRunnable  *telemetry.Metric
+	workerAdoptions *telemetry.Metric
+	workerRemaps    *telemetry.Metric
 }
 
 func newRunMetrics(reg *telemetry.Registry, numLPs int) *runMetrics {
@@ -68,6 +77,13 @@ func newRunMetrics(reg *telemetry.Registry, numLPs int) *runMetrics {
 
 		optWindow:   reg.Gauge("gowarp_optimism_window", "Optimism window currently in force (virtual-time units past GVT; 0 = unbounded).", false),
 		optSwitches: reg.Counter("gowarp_optimism_switches_total", "Adaptive-optimism window adjustments.", true),
+
+		workerEvents:    reg.Counter("gowarp_worker_events_total", "Events executed by this pool worker (pool runs only).", true).WithLabel("worker"),
+		workerBusy:      reg.Counter("gowarp_worker_busy_seconds_total", "Wall-clock seconds this pool worker spent executing events.", true).WithLabel("worker"),
+		workerOwned:     reg.Gauge("gowarp_worker_owned_lps", "LPs currently owned by this pool worker.", true).WithLabel("worker"),
+		workerRunnable:  reg.Gauge("gowarp_worker_runnable_lps", "Owned LPs with an executable event at last check.", true).WithLabel("worker"),
+		workerAdoptions: reg.Counter("gowarp_worker_adoptions_total", "LPs adopted by this pool worker through on-line remapping.", true).WithLabel("worker"),
+		workerRemaps:    reg.Counter("gowarp_worker_remaps_total", "LP-to-worker remap plans published by the pool dispatcher.", false),
 	}
 }
 
@@ -116,4 +132,10 @@ func (lp *lpRun) publishMetrics(g vtime.Time) {
 	m.meanChi.Set(id, meanChi)
 	m.lazyObjects.Set(id, float64(lazy))
 	m.aggWindow.Set(id, meanWindow.Seconds())
+
+	// LP 0 publishes the worker-pool gauges for the whole run: worker
+	// counters are atomics, so reading them cross-thread here is safe.
+	if lp.dsp != nil && id == 0 {
+		lp.dsp.publishMetrics(m)
+	}
 }

@@ -234,7 +234,7 @@ func (lp *lpRun) rebuildSched() {
 	lp.sched = pq.NewScheduleHeap(len(lp.objs))
 	for i, o := range lp.objs {
 		o.slot = i
-		lp.sched.Update(i, o.nextTime())
+		lp.refresh(o)
 	}
 }
 

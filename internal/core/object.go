@@ -311,14 +311,19 @@ func (o *simObject) execApp(e *event.Event) {
 }
 
 // drainStale resolves leftover lazy-pending outputs when the object has no
-// executable work left (idle, or only events beyond EndTime). See
+// executable work left: idle, only events beyond EndTime, or only events
+// beyond the optimism horizon. The horizon case is a liveness requirement,
+// not an optimization — an unsent lazy anti-message holds GVT down through
+// MinPending, a held-down GVT pins the horizon, and a pinned horizon forbids
+// the very execution that would resolve the output; with every LP's next
+// event past the horizon the run would otherwise deadlock. See
 // cancel.Manager.Drain for why early draining is safe.
 func (o *simObject) drainStale() {
 	if o.out.PendingLen() == 0 {
 		return
 	}
 	next := o.nextTime()
-	if next == vtime.PosInf || next.After(o.lp.cfg.EndTime) {
+	if next == vtime.PosInf || next.After(o.lp.cfg.EndTime) || next.After(o.lp.horizon()) {
 		o.out.Drain()
 	}
 }

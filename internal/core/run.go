@@ -44,7 +44,26 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		cfg.Observe = observe.NewSampler(0)
 	}
 
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: negative worker count %d", cfg.Workers)
+	}
+	var pn *poolNet
+	var dsp *dispatcher
+	if cfg.Workers > 0 {
+		if cfg.Transport != nil {
+			return nil, fmt.Errorf("core: the worker-pool dispatcher requires the default in-process transport (set Config.Workers or Config.Transport, not both)")
+		}
+		if cfg.Workers > numLPs {
+			cfg.Workers = numLPs
+		}
+		pn = newPoolNet(numLPs, cfg.Cost)
+		dsp = newDispatcher(pn, cfg.Workers, numLPs, &cfg)
+	}
+
 	tr := cfg.Transport
+	if pn != nil {
+		tr = pn
+	}
 	if tr == nil {
 		tr = comm.NewInProc(numLPs, comm.WithCost(cfg.Cost), comm.WithInboxDepth(cfg.InboxDepth))
 	}
@@ -117,7 +136,15 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		if lp.idleTick <= 0 {
 			lp.idleTick = 250 * time.Microsecond
 		}
-		lp.pool = event.NewPool()
+		if dsp != nil {
+			// Pool mode: the event pool belongs to the owning worker (shared
+			// by its other LPs), and packets arrive through the spillbox.
+			lp.spill = &pn.boxes[i]
+			lp.pool = dsp.workerOf(i).pool
+			lp.dsp = dsp
+		} else {
+			lp.pool = event.NewPool()
+		}
 		if cfg.Balance.Dynamic() {
 			lp.ld = newLoadRecorder(len(m.Objects))
 			if i == 0 {
@@ -178,6 +205,9 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 	for _, lp := range locals {
 		lp.sched = pq.NewScheduleHeap(len(lp.objs))
 	}
+	if dsp != nil {
+		dsp.attach(locals)
+	}
 	// Start the sampling goroutine for the LPs' lifetime; the deferred Stop
 	// takes a final sample before the caller reads the aggregates, so even
 	// runs shorter than the period get a timeline entry.
@@ -186,25 +216,49 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 
 	var wg sync.WaitGroup
 	panics := make([]interface{}, numLPs)
-	for _, lp := range locals {
-		wg.Add(1)
-		go func(lp *lpRun) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics[lp.id] = r
-					// Unblock peers so the run can fail cleanly.
-					lp.ep.BroadcastStop()
-				}
-			}()
-			lp.run()
-		}(lp)
+	if dsp != nil {
+		// Worker-pool mode: one goroutine per worker, each driving its owned
+		// LPs through the shared pump/execStep machinery.
+		for _, w := range dsp.workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panics[w.id] = r
+						// Unblock peer workers so the run can fail cleanly.
+						if len(w.owned) > 0 {
+							w.owned[0].ep.BroadcastStop()
+						}
+					}
+				}()
+				w.run()
+			}(w)
+		}
+	} else {
+		for _, lp := range locals {
+			wg.Add(1)
+			go func(lp *lpRun) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panics[lp.id] = r
+						// Unblock peers so the run can fail cleanly.
+						lp.ep.BroadcastStop()
+					}
+				}()
+				lp.run()
+			}(lp)
+		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	for i, p := range panics {
 		if p != nil {
+			if dsp != nil {
+				return nil, fmt.Errorf("core: worker %d failed: %v", i, p)
+			}
 			return nil, fmt.Errorf("core: LP %d failed: %v", i, p)
 		}
 	}
@@ -276,9 +330,21 @@ func Run(m *model.Model, cfg Config) (*Result, error) {
 		for _, o := range lp.objs {
 			lp.st.CheckpointAdjustments += o.ckpt.Adjustments
 		}
-		lp.st.EventPoolAllocs, lp.st.EventPoolReuses = lp.pool.Stats()
+		if dsp == nil {
+			lp.st.EventPoolAllocs, lp.st.EventPoolReuses = lp.pool.Stats()
+		}
 		res.PerLP[lp.id] = lp.st
 		res.Stats.Merge(&lp.st)
+	}
+	if dsp != nil {
+		// Pools are per-worker in pool mode: credit each exactly once into
+		// the merged tally (the per-LP counters stay zero) and report the
+		// per-worker scheduling statistics.
+		res.PerWorker, res.FinalWorkerAssignment = dsp.finalStats()
+		for _, w := range res.PerWorker {
+			res.Stats.EventPoolAllocs += w.EventPoolAllocs
+			res.Stats.EventPoolReuses += w.EventPoolReuses
+		}
 	}
 	if cfg.Timeline {
 		for _, lp := range locals {

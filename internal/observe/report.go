@@ -270,13 +270,34 @@ func (r *Report) WriteText(w io.Writer, topK int) error {
 
 	if s := r.Summary; s != nil && len(s.PerLP) > 0 {
 		b.WriteString("\n--- per-LP efficiency ---\n")
-		fmt.Fprintf(&b, "%4s %12s %12s %12s %6s %7s %10s %8s\n",
+		hasWorkers := len(s.FinalWorkerAssignment) == len(s.PerLP)
+		fmt.Fprintf(&b, "%4s %12s %12s %12s %6s %7s %10s %8s",
 			"lp", "processed", "committed", "rolledback", "eff", "wasted", "rollbacks", "antis")
+		if hasWorkers {
+			fmt.Fprintf(&b, " %6s", "worker")
+		}
+		b.WriteString("\n")
 		for i := range s.PerLP {
 			c := &s.PerLP[i]
-			fmt.Fprintf(&b, "%4d %12d %12d %12d %6.3f %7.3f %10d %8d\n",
+			fmt.Fprintf(&b, "%4d %12d %12d %12d %6.3f %7.3f %10d %8d",
 				i, c.EventsProcessed, c.EventsCommitted, c.EventsRolledBack,
 				c.Efficiency(), c.WastedWorkRatio(), c.Rollbacks, c.AntiMsgsSent)
+			if hasWorkers {
+				fmt.Fprintf(&b, " %6d", s.FinalWorkerAssignment[i])
+			}
+			b.WriteString("\n")
+		}
+	}
+
+	if s := r.Summary; s != nil && len(s.PerWorker) > 0 {
+		b.WriteString("\n--- worker pool ---\n")
+		fmt.Fprintf(&b, "%6s %12s %10s %6s %10s %11s %11s\n",
+			"worker", "events", "busy", "lps", "adoptions", "pool_allocs", "pool_reuses")
+		for i := range s.PerWorker {
+			w := &s.PerWorker[i]
+			fmt.Fprintf(&b, "%6d %12d %9.3fs %6d %10d %11d %11d\n",
+				w.Worker, w.Events, w.BusySeconds, w.OwnedLPs,
+				w.Adoptions, w.EventPoolAllocs, w.EventPoolReuses)
 		}
 	}
 
@@ -348,8 +369,14 @@ svg { border: 1px solid #ccc; background: #fff; }
 {{if .Roughness}}<p>{{.Roughness}}</p>{{end}}
 {{if .PerLP}}
 <h2>Per-LP efficiency</h2>
-<table><tr><th>LP</th><th>processed</th><th>committed</th><th>rolled back</th><th>efficiency</th><th>wasted</th><th>rollbacks</th><th>antis</th></tr>
-{{range .PerLP}}<tr><td>{{.LP}}</td><td>{{.Processed}}</td><td>{{.Committed}}</td><td>{{.RolledBack}}</td><td>{{.Eff}}</td><td>{{.Wasted}}</td><td>{{.Rollbacks}}</td><td>{{.Antis}}</td></tr>
+<table><tr><th>LP</th><th>processed</th><th>committed</th><th>rolled back</th><th>efficiency</th><th>wasted</th><th>rollbacks</th><th>antis</th>{{if .HasWorkers}}<th>worker</th>{{end}}</tr>
+{{range .PerLP}}<tr><td>{{.LP}}</td><td>{{.Processed}}</td><td>{{.Committed}}</td><td>{{.RolledBack}}</td><td>{{.Eff}}</td><td>{{.Wasted}}</td><td>{{.Rollbacks}}</td><td>{{.Antis}}</td>{{if $.HasWorkers}}<td>{{.Worker}}</td>{{end}}</tr>
+{{end}}</table>
+{{end}}
+{{if .PerWorker}}
+<h2>Worker pool</h2>
+<table><tr><th>worker</th><th>events</th><th>busy</th><th>owned LPs</th><th>adoptions</th><th>pool allocs</th><th>pool reuses</th></tr>
+{{range .PerWorker}}<tr><td>{{.Worker}}</td><td>{{.Events}}</td><td>{{.Busy}}</td><td>{{.OwnedLPs}}</td><td>{{.Adoptions}}</td><td>{{.PoolAllocs}}</td><td>{{.PoolReuses}}</td></tr>
 {{end}}</table>
 {{end}}
 </body></html>
@@ -362,14 +389,21 @@ func (r *Report) WriteHTML(w io.Writer, topK int) error {
 	}
 	type tree struct{ Title, Body string }
 	type lpRow struct {
-		LP, Processed, Committed, RolledBack, Rollbacks, Antis int64
-		Eff, Wasted                                            string
+		LP, Processed, Committed, RolledBack, Rollbacks, Antis, Worker int64
+		Eff, Wasted                                                    string
+	}
+	type workerRow struct {
+		Worker                                              int
+		Events, OwnedLPs, Adoptions, PoolAllocs, PoolReuses int64
+		Busy                                                string
 	}
 	data := struct {
 		Header, CascadeSummary, Roughness, Polyline string
 		MaxWidth                                    int64
+		HasWorkers                                  bool
 		Trees                                       []tree
 		PerLP                                       []lpRow
+		PerWorker                                   []workerRow
 	}{}
 
 	var part []int
@@ -377,12 +411,25 @@ func (r *Report) WriteHTML(w io.Writer, topK int) error {
 		part = s.FinalPartition
 		data.Header = fmt.Sprintf("model %s: %.3fs wall, %.0f events/s, efficiency %.3f, wasted-work ratio %.3f",
 			s.Model, s.ElapsedSeconds, s.EventsPerSec, s.Efficiency, s.WastedWorkRatio)
+		data.HasWorkers = len(s.FinalWorkerAssignment) == len(s.PerLP)
 		for i := range s.PerLP {
 			c := &s.PerLP[i]
-			data.PerLP = append(data.PerLP, lpRow{
+			row := lpRow{
 				LP: int64(i), Processed: c.EventsProcessed, Committed: c.EventsCommitted,
 				RolledBack: c.EventsRolledBack, Rollbacks: c.Rollbacks, Antis: c.AntiMsgsSent,
 				Eff: fmt.Sprintf("%.3f", c.Efficiency()), Wasted: fmt.Sprintf("%.3f", c.WastedWorkRatio()),
+			}
+			if data.HasWorkers {
+				row.Worker = int64(s.FinalWorkerAssignment[i])
+			}
+			data.PerLP = append(data.PerLP, row)
+		}
+		for i := range s.PerWorker {
+			ws := &s.PerWorker[i]
+			data.PerWorker = append(data.PerWorker, workerRow{
+				Worker: ws.Worker, Events: ws.Events, OwnedLPs: int64(ws.OwnedLPs),
+				Adoptions: ws.Adoptions, PoolAllocs: ws.EventPoolAllocs, PoolReuses: ws.EventPoolReuses,
+				Busy: fmt.Sprintf("%.3fs", ws.BusySeconds),
 			})
 		}
 	}

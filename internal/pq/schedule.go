@@ -2,28 +2,55 @@ package pq
 
 import "gowarp/internal/vtime"
 
-// ScheduleHeap orders the simulation objects hosted by one logical process by
-// the receive time of their next unprocessed event, so the LP scheduler can
-// pick the lowest-timestamped object in O(log n). Objects are identified by a
-// dense slot index assigned by the LP; an object with no pending work carries
-// key vtime.PosInf and simply sinks to the bottom rather than being removed,
+// ScheduleHeap orders the simulation objects hosted by one scheduler (a
+// logical process, or a worker thread owning several LPs) by the receive time
+// of their next unprocessed event, so the scheduler can pick the
+// lowest-timestamped object in O(log n). Objects are identified by a dense
+// slot index assigned by the owner; a slot with no pending work carries key
+// vtime.PosInf and simply sinks to the bottom rather than being removed,
 // which keeps Update O(log n) with no membership bookkeeping.
+//
+// Ties on the virtual time are broken by the (seq, id) pair supplied with
+// UpdateKey — the head event's send sequence number and the object's global
+// identity — giving the deterministic (vt, seq, object-id) execution order
+// the differential oracle hashes depend on. The legacy Update keeps a zero
+// (seq, id), which reduces to slot order for callers that never migrate
+// objects between slots.
 type ScheduleHeap struct {
-	keys  []vtime.Time // key per slot index
-	order []int        // heap of slot indices
-	pos   []int        // slot index -> position in order
+	keys  []scheduleKey // key per slot index
+	order []int         // heap of slot indices
+	pos   []int         // slot index -> position in order
+}
+
+// scheduleKey is a slot's composite priority: the virtual time of the
+// object's next event, tie-broken by that event's send sequence and the
+// object's stable global id.
+type scheduleKey struct {
+	t   vtime.Time
+	seq uint64
+	id  int32
+}
+
+func (a scheduleKey) less(b scheduleKey) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.id < b.id
 }
 
 // NewScheduleHeap returns a heap over n object slots, all initially at
 // vtime.PosInf (nothing schedulable).
 func NewScheduleHeap(n int) *ScheduleHeap {
 	h := &ScheduleHeap{
-		keys:  make([]vtime.Time, n),
+		keys:  make([]scheduleKey, n),
 		order: make([]int, n),
 		pos:   make([]int, n),
 	}
 	for i := range h.keys {
-		h.keys[i] = vtime.PosInf
+		h.keys[i] = scheduleKey{t: vtime.PosInf}
 		h.order[i] = i
 		h.pos[i] = i
 	}
@@ -33,40 +60,49 @@ func NewScheduleHeap(n int) *ScheduleHeap {
 // Len returns the number of object slots.
 func (h *ScheduleHeap) Len() int { return len(h.order) }
 
-// Key returns the current key of slot i.
-func (h *ScheduleHeap) Key(i int) vtime.Time { return h.keys[i] }
+// Key returns the current virtual-time key of slot i.
+func (h *ScheduleHeap) Key(i int) vtime.Time { return h.keys[i].t }
 
-// Update sets slot i's key to t and restores heap order.
+// Update sets slot i's key to t with a zero tie-break and restores heap
+// order. Equivalent to UpdateKey(i, t, 0, 0).
 func (h *ScheduleHeap) Update(i int, t vtime.Time) {
+	h.UpdateKey(i, t, 0, 0)
+}
+
+// UpdateKey sets slot i's composite key — the virtual time t of the slot's
+// next event, that event's send sequence seq, and the object's global id —
+// and restores heap order.
+func (h *ScheduleHeap) UpdateKey(i int, t vtime.Time, seq uint64, id int32) {
+	k := scheduleKey{t: t, seq: seq, id: id}
 	old := h.keys[i]
-	if old == t {
+	if old == k {
 		return
 	}
-	h.keys[i] = t
+	h.keys[i] = k
 	p := h.pos[i]
-	if t < old {
+	if k.less(old) {
 		h.up(p)
 	} else {
 		h.down(p)
 	}
 }
 
-// Min returns the slot index with the least key and that key. When every
-// slot is at vtime.PosInf the LP has nothing to execute.
+// Min returns the slot index with the least key and that key's virtual time.
+// When every slot is at vtime.PosInf the scheduler has nothing to execute.
 func (h *ScheduleHeap) Min() (slot int, t vtime.Time) {
 	if len(h.order) == 0 {
 		return -1, vtime.PosInf
 	}
 	s := h.order[0]
-	return s, h.keys[s]
+	return s, h.keys[s].t
 }
 
 func (h *ScheduleHeap) less(i, j int) bool {
 	a, b := h.order[i], h.order[j]
 	if h.keys[a] != h.keys[b] {
-		return h.keys[a] < h.keys[b]
+		return h.keys[a].less(h.keys[b])
 	}
-	return a < b // deterministic tie-break by slot index
+	return a < b // identical composite keys: fall back to slot order
 }
 
 func (h *ScheduleHeap) swap(i, j int) {

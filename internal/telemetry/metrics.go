@@ -50,8 +50,19 @@ func (r *Registry) Bind(numLPs int) {
 // slots: slot i belongs to LP i (per-LP metrics) or slot 0 to the whole run.
 type Metric struct {
 	name, help, typ string
+	label           string // slot-index label name; default "lp"
 	perLP           bool
 	vals            []atomic.Uint64
+}
+
+// WithLabel renames the slot-index label (default "lp") — for per-slot
+// metrics whose index is not an LP id, e.g. a pool worker id. Returns the
+// metric for chaining at registration. Nil-safe.
+func (m *Metric) WithLabel(label string) *Metric {
+	if m != nil {
+		m.label = label
+	}
+	return m
 }
 
 func (r *Registry) metric(name, help, typ string, perLP bool) *Metric {
@@ -67,7 +78,7 @@ func (r *Registry) metric(name, help, typ string, perLP bool) *Metric {
 	if perLP && r.numLPs > 1 {
 		slots = r.numLPs
 	}
-	m := &Metric{name: name, help: help, typ: typ, perLP: perLP, vals: make([]atomic.Uint64, slots)}
+	m := &Metric{name: name, help: help, typ: typ, label: "lp", perLP: perLP, vals: make([]atomic.Uint64, slots)}
 	r.metrics[name] = m
 	r.order = append(r.order, name)
 	return m
@@ -248,7 +259,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			continue
 		}
 		for lp := range m.vals {
-			if _, err := fmt.Fprintf(w, "%s{lp=\"%d\"} %s\n", m.name, lp, fmtVal(m.Get(lp))); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{%s=\"%d\"} %s\n", m.name, m.label, lp, fmtVal(m.Get(lp))); err != nil {
 				return err
 			}
 		}

@@ -3,6 +3,7 @@ package gowarp
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -216,6 +217,55 @@ func ParseOptSpec(spec string) (OptimismConfig, error) {
 		return cfg, fmt.Errorf("optimism spec %q: mode static needs window=N", spec)
 	}
 	return cfg, nil
+}
+
+// SchedSpec is a parsed -sched flag: which execution engine drives the LPs.
+type SchedSpec struct {
+	// Workers is the worker-pool size; 0 selects the goroutine-per-LP engine.
+	Workers int
+}
+
+// ParseSchedSpec parses a scheduler spec:
+//
+//	lp                         one goroutine per LP (the default)
+//	pool                       worker pool sized to GOMAXPROCS
+//	pool,workers=N             worker pool, N workers
+//
+// The worker pool hosts the LPs on a fixed set of OS-thread-backed workers,
+// each pulling its lowest-timestamp runnable LP from a local schedule queue;
+// it is the engine that scales to object counts far beyond what
+// goroutine-per-LP placement handles. Worker counts above the LP count are
+// clamped by the kernel.
+func ParseSchedSpec(spec string) (SchedSpec, error) {
+	var s SchedSpec
+	parts := strings.Split(spec, ",")
+	switch parts[0] {
+	case "", "lp", "goroutine":
+		if len(parts) > 1 {
+			return s, fmt.Errorf("sched spec %q: parameters need mode pool", spec)
+		}
+		return s, nil
+	case "pool", "workers":
+		s.Workers = runtime.GOMAXPROCS(0)
+	default:
+		return s, fmt.Errorf("sched spec %q: unknown mode %q (lp or pool)", spec, parts[0])
+	}
+	for _, p := range parts[1:] {
+		key, val, err := splitSpecParam(spec, p)
+		if err != nil {
+			return s, err
+		}
+		switch key {
+		case "workers":
+			s.Workers, err = parseSpecInt(spec, key, val)
+		default:
+			return s, fmt.Errorf("sched spec %q: unknown key %q", spec, key)
+		}
+		if err != nil {
+			return s, err
+		}
+	}
+	return s, nil
 }
 
 // TransportSpec is a parsed -transport flag: which substrate carries the

@@ -206,6 +206,47 @@ func TestParseTransportSpecErrors(t *testing.T) {
 	}
 }
 
+func TestParseSchedSpec(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want SchedSpec
+	}{
+		{"", SchedSpec{}},
+		{"lp", SchedSpec{}},
+		{"goroutine", SchedSpec{}},
+		{"pool,workers=8", SchedSpec{Workers: 8}},
+		{"pool,workers=1", SchedSpec{Workers: 1}},
+	} {
+		got, err := ParseSchedSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSchedSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSchedSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+	// Bare "pool" sizes the pool to the machine.
+	if s, err := ParseSchedSpec("pool"); err != nil || s.Workers < 1 {
+		t.Errorf("ParseSchedSpec(pool) = %+v, %v; want >= 1 workers", s, err)
+	}
+}
+
+func TestParseSchedSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",
+		"lp,workers=2",
+		"pool,workers=0",
+		"pool,workers=-2",
+		"pool,workers",
+		"pool,frobnicate=2",
+	} {
+		if _, err := ParseSchedSpec(spec); err == nil {
+			t.Errorf("ParseSchedSpec(%q): want error, got nil", spec)
+		}
+	}
+}
+
 func TestConfigBuilder(t *testing.T) {
 	tr := NewTracer(16)
 	cfg := NewConfig(100_000).
@@ -218,6 +259,7 @@ func TestConfigBuilder(t *testing.T) {
 		WithGVTPeriod(time.Millisecond).
 		WithOptimismWindow(500).
 		WithPendingSet(SplayPendingSet).
+		WithWorkers(2).
 		WithTracer(tr).
 		WithTimeline().
 		Build()
@@ -248,6 +290,9 @@ func TestConfigBuilder(t *testing.T) {
 	}
 	if cfg.Tracer != tr || !cfg.Timeline {
 		t.Errorf("tracer/timeline not threaded")
+	}
+	if cfg.Workers != 2 {
+		t.Errorf("Workers = %d, want 2", cfg.Workers)
 	}
 
 	// The builder's config must actually run.
